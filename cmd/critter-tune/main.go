@@ -1,0 +1,96 @@
+// Command critter-tune runs one autotuning study under a single
+// selective-execution policy and tolerance, printing the per-configuration
+// report: full execution time, predicted time, prediction error, and the
+// kernel execution/skip counts.
+//
+// Usage:
+//
+//	critter-tune -study capital -policy eager -eps 0.125 [-scale quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"critter/internal/autotune"
+	"critter/internal/critter"
+	"critter/internal/sim"
+)
+
+func main() {
+	studyName := flag.String("study", "capital", "study: capital, slate-chol, candmc, slate-qr")
+	policyName := flag.String("policy", "online", "policy: conditional, local, online, apriori, eager")
+	eps := flag.Float64("eps", 0.125, "confidence tolerance (<= 0 disables selective execution)")
+	scaleName := flag.String("scale", "default", "problem scale: default or quick")
+	seed := flag.Uint64("seed", 42, "noise seed")
+	noise := flag.Float64("noise", 0.05, "machine noise sigma")
+	flag.Parse()
+
+	scale := autotune.DefaultScale()
+	if *scaleName == "quick" {
+		scale = autotune.QuickScale()
+	}
+	var study autotune.Study
+	switch *studyName {
+	case "capital":
+		study = autotune.CapitalCholesky(scale)
+	case "slate-chol":
+		study = autotune.SlateCholesky(scale)
+	case "candmc":
+		study = autotune.CandmcQR(scale)
+	case "slate-qr":
+		study = autotune.SlateQR(scale)
+	default:
+		fmt.Fprintf(os.Stderr, "critter-tune: unknown study %q\n", *studyName)
+		os.Exit(2)
+	}
+	var policy critter.Policy
+	switch *policyName {
+	case "conditional":
+		policy = critter.Conditional
+	case "local":
+		policy = critter.Local
+	case "online":
+		policy = critter.Online
+	case "apriori":
+		policy = critter.APriori
+	case "eager":
+		policy = critter.Eager
+	default:
+		fmt.Fprintf(os.Stderr, "critter-tune: unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+
+	machine := sim.DefaultMachine()
+	machine.NoiseSigma = *noise
+	res, err := autotune.Experiment{
+		Study:    study,
+		EpsList:  []float64{*eps},
+		Machine:  machine,
+		Seed:     *seed,
+		Policies: []critter.Policy{policy},
+	}.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
+		os.Exit(1)
+	}
+	sw := res.Sweeps[0][0]
+	fmt.Printf("study %s  policy %s  eps %g  ranks %d  configs %d\n",
+		study.Name, policy, *eps, study.WorldSize, study.NumConfigs)
+	fmt.Printf("%-4s %-24s %12s %12s %10s\n", "cfg", "params", "full (s)", "predicted", "err (%)")
+	for _, cr := range sw.Configs {
+		fmt.Printf("%-4d %-24s %12.5g %12.5g %10.3f\n",
+			cr.Config, study.Describe(cr.Config), cr.Full.Wall, cr.Selective.Predicted, 100*cr.ExecErr)
+	}
+	speedup := sw.FullWall / sw.TuneWall
+	fmt.Printf("\ntuning time %.5gs vs full execution %.5gs: speedup %.2fx\n",
+		sw.TuneWall, sw.FullWall, speedup)
+	fmt.Printf("kernels executed %d, skipped %d (%.1f%% skipped)\n",
+		sw.Executed, sw.Skipped, 100*float64(sw.Skipped)/float64(sw.Executed+sw.Skipped))
+	fmt.Printf("mean log2 prediction error %.2f (eps = 2^%.0f)\n",
+		sw.MeanLogExecErr, math.Log2(*eps))
+	fmt.Printf("selected config %d (%s); optimal %d (%s)\n",
+		sw.Selected, study.Describe(sw.Selected), sw.Optimal, study.Describe(sw.Optimal))
+}

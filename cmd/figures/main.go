@@ -1,0 +1,100 @@
+// Command figures regenerates the data series of the paper's evaluation
+// figures on the simulated substrate.
+//
+// Usage:
+//
+//	figures -fig 3 [-study capital|slate-chol|candmc|slate-qr] [-scale default|quick]
+//	figures -fig 4 [-study capital|slate-chol] [-neps 11]
+//	figures -fig 5 [-study candmc|slate-qr] [-neps 11]
+//	figures -fig select -study capital
+//
+// Figure 3 prints BSP cost trade-offs and execution-time breakdowns per
+// configuration; Figures 4 and 5 print tuning time, kernel time, and
+// prediction error versus confidence tolerance per policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"critter/internal/autotune"
+	"critter/internal/figures"
+	"critter/internal/sim"
+)
+
+func main() {
+	fig := flag.String("fig", "3", "figure to regenerate: 3, 4, 5, or select")
+	studyName := flag.String("study", "", "study: capital, slate-chol, candmc, slate-qr (default: all for the figure)")
+	scaleName := flag.String("scale", "default", "problem scale: default or quick")
+	seed := flag.Uint64("seed", 42, "noise seed")
+	neps := flag.Int("neps", 11, "number of tolerance points (eps = 2^0 .. 2^-(neps-1))")
+	noise := flag.Float64("noise", 0.05, "machine noise sigma")
+	flag.Parse()
+
+	scale := autotune.DefaultScale()
+	if *scaleName == "quick" {
+		scale = autotune.QuickScale()
+	}
+	machine := sim.DefaultMachine()
+	machine.NoiseSigma = *noise
+
+	studies := map[string]autotune.Study{
+		"capital":    autotune.CapitalCholesky(scale),
+		"slate-chol": autotune.SlateCholesky(scale),
+		"candmc":     autotune.CandmcQR(scale),
+		"slate-qr":   autotune.SlateQR(scale),
+	}
+	var order []string
+	switch *fig {
+	case "3":
+		order = []string{"capital", "slate-chol", "candmc", "slate-qr"}
+	case "4", "select":
+		order = []string{"capital", "slate-chol"}
+	case "5":
+		order = []string{"candmc", "slate-qr"}
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	if *studyName != "" {
+		if _, ok := studies[*studyName]; !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown study %q\n", *studyName)
+			os.Exit(2)
+		}
+		order = []string{*studyName}
+	}
+
+	eps := autotune.DefaultEpsList()
+	if *neps < len(eps) {
+		eps = eps[:*neps]
+	}
+
+	for _, name := range order {
+		st := studies[name]
+		switch *fig {
+		case "3":
+			f3, err := figures.RunFig3(st, machine, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			f3.Print(os.Stdout)
+		case "4", "5":
+			tn, err := figures.RunTuning(st, machine, *seed, eps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			tn.PrintAll(os.Stdout)
+		case "select":
+			tn, err := figures.RunTuning(st, machine, *seed, eps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			tn.PrintSelection(os.Stdout)
+		}
+		fmt.Println()
+	}
+}

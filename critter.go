@@ -1,0 +1,99 @@
+// Package critter is a Go reproduction of "Accelerating Distributed-Memory
+// Autotuning via Statistical Analysis of Execution Paths" (Hutter &
+// Solomonik, IPDPS 2021): the Critter profiler for selective kernel
+// execution, a deterministic virtual-time message-passing runtime it runs
+// on, dense BLAS/LAPACK kernels, the paper's four case-study factorization
+// libraries (CAPITAL Cholesky, SLATE Cholesky and QR, CANDMC QR), and the
+// autotuning evaluation harness that regenerates Figures 3-5.
+//
+// This file is the public facade: it re-exports the stable API surface from
+// the internal packages. Typical use:
+//
+//	world := critter.NewWorld(64, critter.DefaultMachine(), seed)
+//	err := world.Run(func(c *critter.RawComm) {
+//	    prof, comm := critter.NewProfiler(c, critter.Options{
+//	        Policy: critter.Online, Eps: 0.125,
+//	    })
+//	    // Build grids with comm.Split, run kernels via prof.Gemm etc.;
+//	    // communication through comm.Bcast/Send/... is selectively
+//	    // executed once its statistics make it predictable.
+//	    report := prof.Report()
+//	    _ = report
+//	})
+package critter
+
+import (
+	"critter/internal/autotune"
+	"critter/internal/critter"
+	"critter/internal/mpi"
+	"critter/internal/sim"
+	"critter/internal/stats"
+)
+
+// Core profiler types (the paper's contribution).
+type (
+	// Profiler is one rank's Critter instance: kernel models, pathset,
+	// and selective-execution decisions.
+	Profiler = critter.Profiler
+	// Comm is a profiled communicator; all traffic through it is
+	// intercepted by the path propagation mechanism.
+	Comm = critter.Comm
+	// RawComm is the underlying unprofiled communicator handle.
+	RawComm = mpi.Comm
+	// World is the simulated machine: ranks, mailboxes, virtual clocks.
+	World = mpi.World
+	// Options configures a Profiler (policy, tolerance).
+	Options = critter.Options
+	// Policy selects the selective-execution method.
+	Policy = critter.Policy
+	// Key is a kernel signature.
+	Key = critter.Key
+	// Report summarizes one configuration run.
+	Report = critter.Report
+	// Machine is the alpha-beta-gamma cost model.
+	Machine = sim.Machine
+	// Welford is the single-pass statistics accumulator.
+	Welford = stats.Welford
+	// Study is one library's tuning problem.
+	Study = autotune.Study
+	// Experiment sweeps a study over policies and tolerances.
+	Experiment = autotune.Experiment
+	// Scale sizes the built-in case studies.
+	Scale = autotune.Scale
+)
+
+// Selective-execution policies (Section IV-B of the paper).
+const (
+	Conditional = critter.Conditional
+	Local       = critter.Local
+	Online      = critter.Online
+	APriori     = critter.APriori
+	Eager       = critter.Eager
+)
+
+// NewWorld creates a simulated machine of size ranks.
+func NewWorld(size int, m Machine, seed uint64) *World { return mpi.NewWorld(size, m, seed) }
+
+// DefaultMachine returns the calibrated machine model.
+func DefaultMachine() Machine { return sim.DefaultMachine() }
+
+// NewProfiler creates a rank's profiler and wraps its world communicator;
+// collective over the world.
+func NewProfiler(c *RawComm, o Options) (*Profiler, *Comm) { return critter.New(c, o) }
+
+// DefaultScale sizes the built-in case studies for a laptop.
+func DefaultScale() Scale { return autotune.DefaultScale() }
+
+// QuickScale sizes the built-in case studies for tests.
+func QuickScale() Scale { return autotune.QuickScale() }
+
+// Built-in case studies (Section V of the paper).
+var (
+	CapitalCholesky = autotune.CapitalCholesky
+	SlateCholesky   = autotune.SlateCholesky
+	CandmcQR        = autotune.CandmcQR
+	SlateQR         = autotune.SlateQR
+)
+
+// DefaultEpsList returns the paper's tolerance sweep, eps = 2^0 .. 2^-10.
+func DefaultEpsList() []float64 { return autotune.DefaultEpsList() }

@@ -1,0 +1,99 @@
+package critter_test
+
+// Tests of the public facade: the API a downstream user sees.
+
+import (
+	"math"
+	"testing"
+
+	"critter"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	machine := critter.DefaultMachine()
+	machine.NoiseSigma = 0.05
+	run := func(eps float64) critter.Report {
+		world := critter.NewWorld(4, machine, 3)
+		var rep critter.Report
+		if err := world.Run(func(c *critter.RawComm) {
+			prof, comm := critter.NewProfiler(c, critter.Options{
+				Policy: critter.Online, Eps: eps,
+			})
+			buf := make([]float64, 64)
+			for i := 0; i < 100; i++ {
+				prof.Kernel("work", 64, 0, 0, 0, 1e4, func() {})
+				comm.Allreduce(buf, make([]float64, 64), 0)
+			}
+			r := prof.Report()
+			if c.Rank() == 0 {
+				rep = r
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	full := run(0)
+	approx := run(0.125)
+	if approx.Skipped == 0 {
+		t.Fatal("no kernels skipped through the facade")
+	}
+	if approx.Wall >= full.Wall {
+		t.Errorf("selective wall %g not below full %g", approx.Wall, full.Wall)
+	}
+	if err := math.Abs(approx.Predicted-full.Wall) / full.Wall; err > 0.15 {
+		t.Errorf("facade prediction error %g too large", err)
+	}
+}
+
+func TestFacadeStudyConstructors(t *testing.T) {
+	s := critter.QuickScale()
+	for _, st := range []critter.Study{
+		critter.CapitalCholesky(s),
+		critter.SlateCholesky(s),
+		critter.CandmcQR(s),
+		critter.SlateQR(s),
+	} {
+		if st.NumConfigs == 0 || st.Run == nil || st.Describe == nil {
+			t.Errorf("%s: incomplete study", st.Name)
+		}
+	}
+	if len(critter.DefaultEpsList()) != 11 {
+		t.Error("DefaultEpsList should have 11 points")
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	res, err := critter.Experiment{
+		Study:    critter.SlateCholesky(critter.QuickScale()),
+		EpsList:  []float64{0.25},
+		Machine:  critter.DefaultMachine(),
+		Seed:     1,
+		Policies: []critter.Policy{critter.Conditional},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweeps) != 1 || len(res.Sweeps[0]) != 1 {
+		t.Fatalf("unexpected sweep shape")
+	}
+	sw := res.Sweeps[0][0]
+	if len(sw.Configs) != 20 {
+		t.Errorf("slate cholesky has %d configs, want 20", len(sw.Configs))
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[critter.Policy]string{
+		critter.Conditional: "conditional",
+		critter.Local:       "local",
+		critter.Online:      "online",
+		critter.APriori:     "apriori",
+		critter.Eager:       "eager",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("policy %d name %q, want %q", p, p.String(), want)
+		}
+	}
+}

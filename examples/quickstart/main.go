@@ -1,0 +1,77 @@
+// Quickstart: profile a small iterative SPMD program with Critter and watch
+// selective execution kick in.
+//
+// The program runs 200 iterations of a compute kernel followed by an
+// allreduce on 8 simulated ranks. Under a confidence tolerance of 12.5%,
+// Critter executes each kernel until its sample-mean confidence interval is
+// tight enough, then replaces further invocations with the model mean: the
+// virtual wall time drops far below the predicted execution time while the
+// prediction stays accurate.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"critter"
+)
+
+func main() {
+	machine := critter.DefaultMachine()
+	machine.NoiseSigma = 0.05 // ~5% run-to-run variability per kernel
+
+	// Reference: full execution (eps <= 0 disables skipping).
+	full := run(machine, 0)
+	// Approximate: skip kernels once predictable to 12.5%.
+	approx := run(machine, 0.125)
+
+	fmt.Printf("full execution:      %.6fs (every kernel executed)\n", full.Wall)
+	fmt.Printf("selective execution: %.6fs wall, %.6fs predicted\n", approx.Wall, approx.Predicted)
+	fmt.Printf("executed %d kernels, skipped %d\n", approx.Executed, approx.Skipped)
+	fmt.Printf("prediction error vs full run: %.2f%%\n",
+		100*abs(approx.Predicted-full.Wall)/full.Wall)
+	fmt.Printf("profiling speedup: %.1fx\n", full.Wall/approx.Wall)
+}
+
+func run(machine critter.Machine, eps float64) critter.Report {
+	world := critter.NewWorld(8, machine, 7)
+	var report critter.Report
+	err := world.Run(func(c *critter.RawComm) {
+		prof, comm := critter.NewProfiler(c, critter.Options{
+			Policy: critter.Online,
+			Eps:    eps,
+		})
+		buf := make([]float64, 512)
+		sum := make([]float64, 512)
+		for iter := 0; iter < 200; iter++ {
+			// A "computation kernel": name + dimensions form the
+			// signature, the flop count drives the machine model, and
+			// the closure does the actual work.
+			prof.Kernel("stencil", 512, 0, 0, 0, 5e4, func() {
+				for i := range buf {
+					buf[i] = 0.5*buf[i] + 1
+				}
+			})
+			// A communication kernel, intercepted and selectively
+			// executed with agreement across all participants.
+			comm.Allreduce(buf, sum, 0)
+		}
+		r := prof.Report()
+		if c.Rank() == 0 {
+			report = r
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return report
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

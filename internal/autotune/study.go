@@ -1,0 +1,227 @@
+// Package autotune implements the paper's evaluation harness: exhaustive
+// search over a library's configuration space, executed either fully (the
+// reference) or selectively under one of Critter's policies at a confidence
+// tolerance epsilon, with the measurement protocol of Section VI-A — a full
+// execution directly prior to each approximated one, prediction error
+// relative to that full execution, and tuning cost as the total (virtual)
+// time of the selective executions.
+package autotune
+
+import (
+	"fmt"
+	"sync"
+
+	"critter/internal/critter"
+	"critter/internal/mpi"
+	"critter/internal/sim"
+	"critter/internal/stats"
+)
+
+// Study is one library's tuning problem: a configuration space and an SPMD
+// runner executing one configuration under a profiler.
+type Study struct {
+	// Name identifies the study (e.g. "capital-cholesky").
+	Name string
+	// NumConfigs is the size of the exhaustive search space.
+	NumConfigs int
+	// WorldSize is the rank count the study's grids require.
+	WorldSize int
+	// ResetStats requests discarding kernel models between configurations,
+	// as the paper does for SLATE's and CANDMC's algorithms (whose kernels
+	// change with the configuration's tile/block sizes); CAPITAL keeps its
+	// models, which eager propagation exploits across configurations.
+	ResetStats bool
+	// Run executes configuration v on the calling rank.
+	Run func(p *critter.Profiler, cc *critter.Comm, v int)
+	// Describe labels configuration v (for reports).
+	Describe func(v int) string
+	// Policies lists the selective-execution policies the paper evaluates
+	// for this study (eager only for the bulk-synchronous CAPITAL).
+	Policies []critter.Policy
+}
+
+// ConfigResult captures one configuration's reference and selective runs.
+type ConfigResult struct {
+	Config    int
+	Full      critter.Report
+	Selective critter.Report
+	ExecErr   float64 // |predicted - full| / full execution time
+	CompErr   float64 // same for critical-path computation time
+}
+
+// SweepResult aggregates one (policy, epsilon) pass over the whole space.
+type SweepResult struct {
+	Policy  critter.Policy
+	Eps     float64
+	Configs []ConfigResult
+
+	TuneWall       float64 // total selective-execution virtual time (the tuning cost)
+	FullWall       float64 // total full-execution virtual time (the red line)
+	KernelTime     float64 // sum over configs of max-rank executed-kernel time
+	CompKernelTime float64 // same, computation kernels only
+	MeanLogExecErr float64 // log2 geometric-mean prediction error
+	MeanLogCompErr float64
+	Selected       int // argmin of predicted times (Critter's choice)
+	Optimal        int // argmin of full execution times
+	Executed       int64
+	Skipped        int64
+}
+
+// Experiment drives sweeps of one study over policies and tolerances.
+type Experiment struct {
+	Study    Study
+	EpsList  []float64
+	Machine  sim.Machine
+	Seed     uint64
+	Policies []critter.Policy // overrides Study.Policies when non-nil
+}
+
+// Result holds every sweep of an experiment, indexed [policy][eps].
+type Result struct {
+	Study    string
+	Policies []critter.Policy
+	EpsList  []float64
+	Sweeps   [][]SweepResult
+}
+
+// Run executes the experiment in a fresh world and returns rank 0's view.
+func (e Experiment) Run() (*Result, error) {
+	policies := e.Policies
+	if policies == nil {
+		policies = e.Study.Policies
+	}
+	if len(policies) == 0 {
+		policies = []critter.Policy{critter.Conditional, critter.Local, critter.Online, critter.APriori}
+	}
+	res := &Result{
+		Study:    e.Study.Name,
+		Policies: policies,
+		EpsList:  e.EpsList,
+		Sweeps:   make([][]SweepResult, len(policies)),
+	}
+	var mu sync.Mutex
+	w := mpi.NewWorld(e.Study.WorldSize, e.Machine, e.Seed)
+	err := w.Run(func(c *mpi.Comm) {
+		for pi, pol := range policies {
+			for _, eps := range e.EpsList {
+				sr := runSweep(c, e.Study, pol, eps)
+				if c.Rank() == 0 {
+					mu.Lock()
+					res.Sweeps[pi] = append(res.Sweeps[pi], sr)
+					mu.Unlock()
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("autotune: %s: %w", e.Study.Name, err)
+	}
+	return res, nil
+}
+
+// runSweep performs one (policy, eps) exhaustive pass: per configuration, a
+// full reference execution followed by the approximated one (Section VI-A).
+// Collective; the returned value is meaningful on every rank.
+func runSweep(c *mpi.Comm, study Study, pol critter.Policy, eps float64) SweepResult {
+	ref, refComm := critter.New(c, critter.Options{Policy: critter.Conditional, Eps: 0})
+	tuned, tunedComm := critter.New(c, critter.Options{Policy: pol, Eps: eps})
+	sr := SweepResult{Policy: pol, Eps: eps}
+	var execErrs, compErrs []float64
+	bestPred, bestFull := -1.0, -1.0
+	for v := 0; v < study.NumConfigs; v++ {
+		// Full execution directly prior to the approximated one.
+		ref.StartConfig(true)
+		study.Run(ref, refComm, v)
+		full := ref.Report()
+
+		var sel critter.Report
+		if pol == critter.APriori && eps > 0 {
+			// Offline iteration: full execution under online propagation
+			// to obtain critical-path execution counts (and samples).
+			tuned.StartConfig(study.ResetStats)
+			tuned.SetPolicy(critter.Online)
+			tuned.SetEps(0)
+			study.Run(tuned, tunedComm, v)
+			offline := tuned.Report()
+			freqs := tuned.GlobalPathFreqs()
+			sr.TuneWall += offline.Wall
+			sr.KernelTime += offline.KernelTime
+			sr.CompKernelTime += offline.CompKernel
+			tuned.SetAprioriFreq(freqs)
+			tuned.SetPolicy(critter.APriori)
+			tuned.SetEps(eps)
+			tuned.StartConfig(false) // keep the offline pass's samples
+			study.Run(tuned, tunedComm, v)
+			sel = tuned.Report()
+		} else {
+			tuned.StartConfig(study.ResetStats)
+			study.Run(tuned, tunedComm, v)
+			sel = tuned.Report()
+		}
+
+		cr := ConfigResult{
+			Config:    v,
+			Full:      full,
+			Selective: sel,
+			ExecErr:   stats.RelErr(sel.Predicted, full.Wall),
+			CompErr:   stats.RelErr(sel.PredictedComp, full.PredictedComp),
+		}
+		sr.Configs = append(sr.Configs, cr)
+		sr.TuneWall += sel.Wall
+		sr.FullWall += full.Wall
+		sr.KernelTime += sel.KernelTime
+		sr.CompKernelTime += sel.CompKernel
+		sr.Executed += sel.Executed
+		sr.Skipped += sel.Skipped
+		execErrs = append(execErrs, cr.ExecErr)
+		compErrs = append(compErrs, cr.CompErr)
+		if bestPred < 0 || sel.Predicted < bestPred {
+			bestPred = sel.Predicted
+			sr.Selected = v
+		}
+		if bestFull < 0 || full.Wall < bestFull {
+			bestFull = full.Wall
+			sr.Optimal = v
+		}
+	}
+	sr.MeanLogExecErr = stats.MeanLogErr(execErrs)
+	sr.MeanLogCompErr = stats.MeanLogErr(compErrs)
+	return sr
+}
+
+// FullOnly runs every configuration once with full execution, returning the
+// per-configuration reports (the data of Figure 3: BSP cost trade-offs and
+// execution-time breakdowns).
+func FullOnly(study Study, machine sim.Machine, seed uint64) ([]critter.Report, error) {
+	reports := make([]critter.Report, study.NumConfigs)
+	var mu sync.Mutex
+	w := mpi.NewWorld(study.WorldSize, machine, seed)
+	err := w.Run(func(c *mpi.Comm) {
+		p, cc := critter.New(c, critter.Options{Policy: critter.Conditional, Eps: 0})
+		for v := 0; v < study.NumConfigs; v++ {
+			p.StartConfig(true)
+			study.Run(p, cc, v)
+			rep := p.Report()
+			if c.Rank() == 0 {
+				mu.Lock()
+				reports[v] = rep
+				mu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("autotune: %s: %w", study.Name, err)
+	}
+	return reports, nil
+}
+
+// DefaultEpsList is the paper's tolerance sweep: eps = 2^0 .. 2^-10.
+func DefaultEpsList() []float64 {
+	out := make([]float64, 11)
+	e := 1.0
+	for i := range out {
+		out[i] = e
+		e /= 2
+	}
+	return out
+}

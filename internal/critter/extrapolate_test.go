@@ -1,0 +1,120 @@
+package critter
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFamilyModelFit(t *testing.T) {
+	fm := &familyModel{points: make(map[int]familyPoint)}
+	// Exact power-law family: t = 2e-9 * flops^1.1.
+	law := func(f float64) float64 { return 2e-9 * math.Pow(f, 1.1) }
+	for _, f := range []float64{1e3, 1e4, 1e5, 1e6} {
+		fm.points[int(f)] = familyPoint{flops: f, mean: law(f)}
+	}
+	fm.dirty = true
+	got, ok := fm.predict(5e5, 0.1)
+	if !ok {
+		t.Fatal("fit should be trustworthy")
+	}
+	want := law(5e5)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("predict = %g, want %g", got, want)
+	}
+	// Bounded extrapolation: far beyond the observed range is refused.
+	if _, ok := fm.predict(1e9, 0.1); ok {
+		t.Error("prediction 1000x beyond range should be refused")
+	}
+	if _, ok := fm.predict(1, 0.1); ok {
+		t.Error("prediction far below range should be refused")
+	}
+}
+
+func TestFamilyModelRejectsPoorFit(t *testing.T) {
+	fm := &familyModel{points: make(map[int]familyPoint)}
+	// Wildly nonlinear points: residuals exceed any reasonable tolerance.
+	fm.points[1000] = familyPoint{flops: 1e3, mean: 1}
+	fm.points[2000] = familyPoint{flops: 2e3, mean: 100}
+	fm.points[3000] = familyPoint{flops: 3e3, mean: 1}
+	fm.dirty = true
+	if _, ok := fm.predict(2.5e3, 0.1); ok {
+		t.Error("poor fit accepted")
+	}
+}
+
+func TestFamilyModelNeedsThreePoints(t *testing.T) {
+	fm := &familyModel{points: make(map[int]familyPoint)}
+	fm.points[1000] = familyPoint{flops: 1e3, mean: 1e-6}
+	fm.points[2000] = familyPoint{flops: 2e3, mean: 2e-6}
+	fm.dirty = true
+	if _, ok := fm.predict(1.5e3, 0.5); ok {
+		t.Error("two points should not make a trustworthy fit")
+	}
+}
+
+func TestExtrapolationSkipsUnseenSignatures(t *testing.T) {
+	runProfiled(t, 1, 0.02, Options{Policy: Conditional, Eps: 0.2, Extrapolate: true},
+		func(p *Profiler, cc *Comm) {
+			// Train the family on three sizes.
+			for _, n := range []int{8, 16, 32} {
+				flops := 2 * float64(n*n*n)
+				for i := 0; i < 30; i++ {
+					p.Kernel("gemm", n, n, n, 0, flops, func() {})
+				}
+			}
+			if p.FamilyPoints("gemm") < 3 {
+				t.Fatalf("family has %d points", p.FamilyPoints("gemm"))
+			}
+			// A brand-new size within the fitted range must be skippable
+			// without a single execution of its own signature.
+			ran := false
+			p.Kernel("gemm", 24, 24, 24, 0, 2*24*24*24, func() { ran = true })
+			if ran {
+				t.Error("unseen signature executed despite a trustworthy family fit")
+			}
+			if p.ExtrapolatedSkips() == 0 {
+				t.Error("no extrapolated skips recorded")
+			}
+		})
+}
+
+func TestExtrapolationDisabledByDefault(t *testing.T) {
+	runProfiled(t, 1, 0.02, Options{Policy: Conditional, Eps: 0.2},
+		func(p *Profiler, cc *Comm) {
+			for _, n := range []int{8, 16, 32} {
+				for i := 0; i < 30; i++ {
+					p.Kernel("gemm", n, n, n, 0, 2*float64(n*n*n), func() {})
+				}
+			}
+			ran := false
+			p.Kernel("gemm", 24, 24, 24, 0, 2*24*24*24, func() { ran = true })
+			if !ran {
+				t.Error("unseen signature skipped without extrapolation enabled")
+			}
+		})
+}
+
+func TestExtrapolationPredictionStaysAccurate(t *testing.T) {
+	// Compare full execution against extrapolated selective execution on
+	// a workload with many one-off sizes (the CANDMC-like pattern).
+	workload := func(p *Profiler, cc *Comm) {
+		// Train sizes executed repeatedly, then a sweep of unique sizes.
+		for _, n := range []int{8, 12, 16, 24, 32} {
+			for i := 0; i < 20; i++ {
+				p.Kernel("gemm", n, n, n, 0, 2*float64(n*n*n), func() {})
+			}
+		}
+		for n := 9; n <= 31; n++ {
+			p.Kernel("gemm", n, n, n, 0, 2*float64(n*n*n), func() {})
+		}
+	}
+	full := runProfiled(t, 1, 0.02, Options{Policy: Conditional, Eps: 0}, workload)
+	ext := runProfiled(t, 1, 0.02, Options{Policy: Conditional, Eps: 0.2, Extrapolate: true}, workload)
+	if ext.Skipped <= full.Skipped {
+		t.Fatal("extrapolation did not increase skipping")
+	}
+	relErr := math.Abs(ext.Predicted-full.Wall) / full.Wall
+	if relErr > 0.1 {
+		t.Errorf("extrapolated prediction error %g too large", relErr)
+	}
+}

@@ -1,0 +1,111 @@
+// Package critter implements the paper's contribution: an online
+// execution-path profiler that accelerates distributed-memory autotuning by
+// selectively executing computation and communication kernels.
+//
+// A kernel is a routine with a particular input size (its signature). Each
+// rank maintains a statistical profile (single-pass mean and variance) per
+// kernel signature; once a kernel's sample-mean confidence interval —
+// optionally shrunk by the square root of its execution count along the
+// current sub-critical path — falls below the confidence tolerance epsilon,
+// further invocations are skipped and replaced by the model mean.
+//
+// Profiles and critical-path costs propagate between ranks by piggybacking
+// internal messages on the application's own communication, following the
+// mechanism of Figure 2 in the paper: an internal allreduce before each
+// collective (doubling as the skip-decision agreement protocol), an internal
+// exchange around each point-to-point pair, and a one-way internal message
+// for nonblocking sends whose reply is consumed at Wait.
+package critter
+
+import "fmt"
+
+// Kind classifies a kernel as computation or communication.
+type Kind uint8
+
+// Kernel kinds.
+const (
+	KindComp Kind = iota
+	KindComm
+)
+
+// Key is a kernel signature: a program routine together with the input-size
+// parameters that determine its performance distribution.
+//
+// Computation kernels are parameterized on matrix dimensions and flags
+// (P1..P3 dims, P4 flags such as transposition). Communication kernels are
+// parameterized on message size in words (P1), sub-communicator size (P2),
+// and sub-communicator stride relative to the world communicator (P3), with
+// point-to-point configurations treated as size-2 sub-communicators, as in
+// Section V-D of the paper.
+type Key struct {
+	Kind Kind
+	Name string
+	P1   int
+	P2   int
+	P3   int
+	P4   int
+}
+
+// CompKey builds a computation-kernel signature.
+func CompKey(name string, p1, p2, p3, p4 int) Key {
+	return Key{Kind: KindComp, Name: name, P1: p1, P2: p2, P3: p3, P4: p4}
+}
+
+// CommKey builds a communication-kernel signature.
+func CommKey(op string, words, commSize, commStride int) Key {
+	return Key{Kind: KindComm, Name: op, P1: words, P2: commSize, P3: commStride}
+}
+
+// String renders the key for diagnostics.
+func (k Key) String() string {
+	if k.Kind == KindComm {
+		return fmt.Sprintf("comm:%s(words=%d,size=%d,stride=%d)", k.Name, k.P1, k.P2, k.P3)
+	}
+	return fmt.Sprintf("comp:%s(%d,%d,%d;%d)", k.Name, k.P1, k.P2, k.P3, k.P4)
+}
+
+// Policy selects how kernel execution counts and statistics propagate
+// between ranks to drive skip decisions (Section IV-B of the paper).
+type Policy uint8
+
+// Selective-execution policies, ordered as introduced by the paper.
+const (
+	// Conditional execution never credits execution counts: a kernel is
+	// skipped only when its unscaled confidence interval meets epsilon.
+	// The most conservative method.
+	Conditional Policy = iota
+	// Local propagation credits each kernel's locally observed execution
+	// count (no inter-rank propagation).
+	Local
+	// Online propagation piggybacks critical-path execution counts on
+	// application communication; the count along the current sub-critical
+	// path shrinks the confidence interval by sqrt(count).
+	Online
+	// APriori forgoes online count propagation by taking critical-path
+	// counts from a preceding full execution of the configuration.
+	APriori
+	// Eager skips a kernel once any rank deems it predictable and its
+	// statistics have been propagated across the whole processor grid via
+	// aggregate channels. Kernel models persist across configurations.
+	Eager
+)
+
+// String returns the policy name as used in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case Conditional:
+		return "conditional"
+	case Local:
+		return "local"
+	case Online:
+		return "online"
+	case APriori:
+		return "apriori"
+	case Eager:
+		return "eager"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Policies lists all selective-execution policies in presentation order.
+var Policies = []Policy{Conditional, Local, Online, APriori, Eager}

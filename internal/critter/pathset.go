@@ -1,0 +1,93 @@
+package critter
+
+// Pathset is the per-rank container of critical-path costs (the pathset P of
+// Figure 2). ExecTime models the execution time along the rank's current
+// sub-critical path, including the model means of skipped kernels, so it is
+// the configuration's execution-time prediction. The remaining metrics track
+// per-metric critical paths, which may follow different execution paths than
+// the time-critical one (Figure 1 of the paper): each is max-merged
+// independently at every propagation point.
+type Pathset struct {
+	ExecTime float64 // predicted execution time along the critical path
+	CompTime float64 // computation time along its own critical path
+	CommTime float64 // communication time along its own critical path
+	BSPComm  float64 // BSP communication cost (words moved)
+	BSPSync  float64 // BSP synchronization cost (super-steps / messages)
+	BSPComp  float64 // BSP computation cost (flops)
+
+	// Kernels is the path frequency table K-tilde: for each kernel, the
+	// number of appearances along the current sub-critical path. It is
+	// adopted wholesale from whichever rank owns the maximal ExecTime at
+	// each propagation point (Figure 2, lines 64-65). nil when the active
+	// policy does not propagate counts.
+	Kernels map[Key]int64
+}
+
+// clone returns a deep copy (the Kernels map is copied).
+func (ps Pathset) clone() Pathset {
+	out := ps
+	if ps.Kernels != nil {
+		out.Kernels = make(map[Key]int64, len(ps.Kernels))
+		for k, v := range ps.Kernels {
+			out.Kernels[k] = v
+		}
+	}
+	return out
+}
+
+// mergePath combines two pathsets at a propagation point: metrics are
+// max-merged elementwise, and the frequency table of the path with the
+// larger ExecTime wins (the longest-path algorithm). Inputs are not
+// mutated; the returned Kernels map aliases the winning input's.
+func mergePath(a, b Pathset) Pathset {
+	out := Pathset{
+		ExecTime: maxf(a.ExecTime, b.ExecTime),
+		CompTime: maxf(a.CompTime, b.CompTime),
+		CommTime: maxf(a.CommTime, b.CommTime),
+		BSPComm:  maxf(a.BSPComm, b.BSPComm),
+		BSPSync:  maxf(a.BSPSync, b.BSPSync),
+		BSPComp:  maxf(a.BSPComp, b.BSPComp),
+	}
+	if b.ExecTime > a.ExecTime {
+		out.Kernels = b.Kernels
+	} else {
+		out.Kernels = a.Kernels
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// intMsg is the internal message piggybacked on intercepted communication.
+type intMsg struct {
+	// Exec is the sender's vote (or, for committed messages, decision) on
+	// whether the user communication kernel must actually execute.
+	Exec bool
+	// Exec2 carries the second vote of a combined send+receive exchange
+	// (the Sendrecv protocol): Exec votes for the issuer's send kernel,
+	// Exec2 for its receive kernel.
+	Exec2 bool
+	// Committed marks nonblocking-send messages whose execution decision
+	// was made unilaterally by the sender; the receiver must follow it.
+	Committed bool
+	// Path is a snapshot of the sender's pathset; its Kernels map is
+	// owned by the message and must not be mutated.
+	Path Pathset
+}
+
+// mergeIntMsg folds internal messages during the profiler's internal
+// allreduce: any rank demanding execution forces it, and pathsets merge by
+// the longest-path rule.
+func mergeIntMsg(a, b any) any {
+	ma, mb := a.(intMsg), b.(intMsg)
+	return intMsg{
+		Exec:      ma.Exec || mb.Exec,
+		Committed: ma.Committed || mb.Committed,
+		Path:      mergePath(ma.Path, mb.Path),
+	}
+}

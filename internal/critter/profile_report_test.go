@@ -1,0 +1,93 @@
+package critter
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLocalProfileAttribution(t *testing.T) {
+	runProfiled(t, 1, 0.0, Options{Policy: Conditional, Eps: 0}, func(p *Profiler, cc *Comm) {
+		for i := 0; i < 5; i++ {
+			p.Kernel("big", 32, 32, 32, 0, 1e6, func() {})
+		}
+		p.Kernel("small", 4, 4, 4, 0, 1e3, func() {})
+		prof := p.LocalProfile()
+		if len(prof) != 2 {
+			t.Fatalf("profile has %d entries, want 2", len(prof))
+		}
+		if prof[0].Key.Name != "big" {
+			t.Errorf("largest contributor should be 'big', got %s", prof[0].Key)
+		}
+		if prof[0].PathCount != 5 || prof[0].Samples != 5 {
+			t.Errorf("big kernel count/samples = %d/%d", prof[0].PathCount, prof[0].Samples)
+		}
+		if prof[0].PathTime <= prof[1].PathTime {
+			t.Error("profile not sorted by path time")
+		}
+	})
+}
+
+func TestCriticalPathProfileTakesMaxRank(t *testing.T) {
+	runProfiled(t, 4, 0.0, Options{Policy: Conditional, Eps: 0}, func(p *Profiler, cc *Comm) {
+		// Rank 2 runs a distinctive heavy kernel; the critical-path
+		// profile seen by every rank must contain it.
+		if cc.Rank() == 2 {
+			p.Kernel("hotspot", 64, 64, 64, 0, 1e8, func() {})
+		} else {
+			p.Kernel("background", 4, 4, 4, 0, 1e3, func() {})
+		}
+		prof := p.CriticalPathProfile()
+		found := false
+		for _, kp := range prof {
+			if kp.Key.Name == "hotspot" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rank %d: critical-path profile missing the hotspot kernel", cc.Rank())
+		}
+	})
+}
+
+func TestWriteProfile(t *testing.T) {
+	runProfiled(t, 1, 0.0, Options{Policy: Conditional, Eps: 0}, func(p *Profiler, cc *Comm) {
+		p.Kernel("gemm", 8, 8, 8, 0, 1e4, func() {})
+		p.Kernel("syrk", 8, 8, 0, 0, 5e3, func() {})
+		p.Kernel("potrf", 8, 0, 0, 0, 2e3, func() {})
+		var buf bytes.Buffer
+		WriteProfile(&buf, p.LocalProfile(), 2)
+		out := buf.String()
+		if !strings.Contains(out, "gemm") {
+			t.Error("top kernel missing from report")
+		}
+		if !strings.Contains(out, "1 more kernels") {
+			t.Error("truncation note missing")
+		}
+		if !strings.Contains(out, "total attributed path time") {
+			t.Error("total line missing")
+		}
+	})
+}
+
+func TestProfileIncludesCommKernels(t *testing.T) {
+	runProfiled(t, 2, 0.0, Options{Policy: Conditional, Eps: 0}, func(p *Profiler, cc *Comm) {
+		buf := make([]float64, 1024)
+		for i := 0; i < 3; i++ {
+			cc.Bcast(0, buf)
+		}
+		prof := p.LocalProfile()
+		found := false
+		for _, kp := range prof {
+			if kp.Key.Kind == KindComm && kp.Key.Name == "bcast" {
+				found = true
+				if kp.PathCount != 3 {
+					t.Errorf("bcast path count = %d", kp.PathCount)
+				}
+			}
+		}
+		if !found {
+			t.Error("communication kernel missing from profile")
+		}
+	})
+}

@@ -1,0 +1,438 @@
+package critter
+
+import (
+	"fmt"
+
+	"critter/internal/channel"
+	"critter/internal/mpi"
+	"critter/internal/stats"
+)
+
+// kernelStats is the per-rank profile of one kernel signature (an entry of
+// the set K in the paper's notation).
+type kernelStats struct {
+	stats.Welford
+	// perConfig counts executions of the kernel during the current
+	// configuration; non-eager policies require at least one execution per
+	// tuning iteration before skipping (Section VI-A).
+	perConfig int64
+	// coverage accumulates the aggregate channel over which this kernel's
+	// statistics have been propagated (eager policy).
+	coverage channel.Channel
+	// propagated marks the kernel globally skippable under the eager
+	// policy: its statistics have covered the full processor grid.
+	propagated bool
+}
+
+// Options configures a Profiler.
+type Options struct {
+	// Policy selects the selective-execution method.
+	Policy Policy
+	// Eps is the confidence tolerance: a kernel is predictable when its
+	// relative confidence interval falls below Eps. Eps <= 0 disables
+	// selective execution entirely (full execution; the reference mode).
+	Eps float64
+	// AprioriFreq supplies fixed critical-path execution counts for the
+	// APriori policy, measured on a preceding full execution.
+	AprioriFreq map[Key]int64
+	// Extrapolate enables kernel-model extrapolation across input sizes
+	// (the line-fitting extension of Section VIII): a computation kernel
+	// with an unseen or under-sampled signature may be skipped using a
+	// least-squares fit over its routine family's (flops, mean) points.
+	Extrapolate bool
+}
+
+// Profiler is one rank's profiling state. Create one per rank with New,
+// which also wraps the rank's world communicator. All ranks must construct
+// their Profiler collectively (New performs communication).
+type Profiler struct {
+	opts  Options
+	world *Comm
+	rank  int
+	psize int
+
+	k    map[Key]*kernelStats
+	path Pathset
+	// localFreq counts kernel appearances on this rank during the current
+	// configuration (the Local policy's frequency credit).
+	localFreq map[Key]int64
+
+	// aggregates is the registry of aggregate channels (Figure 2, lines
+	// 16-25), keyed by hash, seeded with the world channel.
+	aggregates map[uint64]channel.Channel
+
+	// pathKernelTime attributes path time to kernels for the profiling
+	// report (profile_report.go).
+	pathKernelTime map[Key]float64
+
+	// families holds per-routine-name regression models for kernel-time
+	// extrapolation across input sizes (extrapolate.go).
+	families map[string]*familyModel
+	// extrapolatedSkips counts skips decided by family-model fits.
+	extrapolatedSkips int64
+
+	// Per-configuration accumulators.
+	kernelTime     float64 // time spent actually executing selectable kernels
+	compKernelTime float64 // same, computation kernels only
+	volCommWords   float64 // local BSP communication (words)
+	volSync        float64 // local BSP synchronization (messages)
+	volFlops       float64 // local BSP computation (flops)
+	executed       int64
+	skipped        int64
+}
+
+// New creates the rank's profiler and wraps its world communicator. It is
+// collective over world (an internal duplicate communicator is created for
+// piggyback traffic).
+func New(world *mpi.Comm, opts Options) (*Profiler, *Comm) {
+	p := &Profiler{
+		opts:       opts,
+		rank:       world.Rank(),
+		psize:      world.Size(),
+		k:          make(map[Key]*kernelStats),
+		localFreq:  make(map[Key]int64),
+		aggregates: make(map[uint64]channel.Channel),
+		families:   make(map[string]*familyModel),
+	}
+	p.pathKernelTime = make(map[Key]float64)
+	p.path.Kernels = make(map[Key]int64)
+	ch, ok := channel.FromGroup(world.Group())
+	if ok {
+		p.aggregates[ch.Hash()] = ch
+	}
+	cc := &Comm{
+		p:        p,
+		user:     world,
+		internal: world.Dup(),
+		ch:       ch,
+		chOK:     ok,
+	}
+	p.world = cc
+	return p, cc
+}
+
+// Policy returns the active selective-execution policy.
+func (p *Profiler) Policy() Policy { return p.opts.Policy }
+
+// Eps returns the active confidence tolerance.
+func (p *Profiler) Eps() float64 { return p.opts.Eps }
+
+// World returns the wrapped world communicator.
+func (p *Profiler) World() *Comm { return p.world }
+
+// kernel returns (creating if absent) the stats entry for key.
+func (p *Profiler) kernel(key Key) *kernelStats {
+	ks, ok := p.k[key]
+	if !ok {
+		ks = &kernelStats{}
+		p.k[key] = ks
+	}
+	return ks
+}
+
+// KernelCount returns the number of distinct kernel signatures profiled so
+// far on this rank.
+func (p *Profiler) KernelCount() int { return len(p.k) }
+
+// Mean returns the modeled mean duration for key (0 if never sampled).
+func (p *Profiler) Mean(key Key) float64 {
+	if ks, ok := p.k[key]; ok {
+		return ks.Mean()
+	}
+	return 0
+}
+
+// Samples returns the number of duration samples recorded for key.
+func (p *Profiler) Samples(key Key) int64 {
+	if ks, ok := p.k[key]; ok {
+		return ks.Count()
+	}
+	return 0
+}
+
+// PathFreqs returns a copy of the rank's current path frequency table.
+func (p *Profiler) PathFreqs() map[Key]int64 {
+	out := make(map[Key]int64, len(p.path.Kernels))
+	for k, v := range p.path.Kernels {
+		out[k] = v
+	}
+	return out
+}
+
+// notePath records one appearance of key along the rank's execution path.
+func (p *Profiler) notePath(key Key) {
+	p.path.Kernels[key]++
+	p.localFreq[key]++
+}
+
+// freqFor returns the execution-count credit the active policy grants when
+// sizing key's confidence interval.
+func (p *Profiler) freqFor(key Key) int64 {
+	switch p.opts.Policy {
+	case Local:
+		return p.localFreq[key]
+	case Online:
+		return p.path.Kernels[key]
+	case APriori:
+		if f := p.opts.AprioriFreq[key]; f > 0 {
+			return f
+		}
+	}
+	return 1
+}
+
+// shouldExecute decides whether the kernel must actually run. For the eager
+// policy the decision is the global propagation flag; for all other
+// policies the kernel must have executed at least once this configuration
+// and is skipped only when predictable at tolerance Eps under the policy's
+// frequency credit.
+func (p *Profiler) shouldExecute(key Key, ks *kernelStats) bool {
+	if p.opts.Eps <= 0 {
+		return true
+	}
+	if p.opts.Policy == Eager {
+		return !ks.propagated
+	}
+	if ks.perConfig < 1 {
+		return true
+	}
+	return !ks.Predictable(p.opts.Eps, p.freqFor(key))
+}
+
+// record incorporates one measured duration for key.
+func (p *Profiler) record(key Key, ks *kernelStats, dt float64) {
+	ks.Add(dt)
+	ks.perConfig++
+	p.executed++
+	p.kernelTime += dt
+	if key.Kind == KindComp {
+		p.compKernelTime += dt
+	}
+}
+
+// snapshot captures the rank's pathset for an internal message. The
+// frequency table is deep-copied only under policies that propagate counts.
+func (p *Profiler) snapshot() Pathset {
+	ps := p.path
+	if p.opts.Policy == Online {
+		ps = p.path.clone()
+	} else {
+		ps.Kernels = nil
+	}
+	return ps
+}
+
+// adopt installs the merged global pathset: metrics are already max-merged;
+// the frequency table, when propagated, replaces the local one (the local
+// path joins the global sub-critical path).
+func (p *Profiler) adopt(g Pathset) {
+	kernels := p.path.Kernels
+	if g.Kernels != nil {
+		kernels = make(map[Key]int64, len(g.Kernels))
+		for k, v := range g.Kernels {
+			kernels[k] = v
+		}
+	}
+	p.path = Pathset{
+		ExecTime: maxf(p.path.ExecTime, g.ExecTime),
+		CompTime: maxf(p.path.CompTime, g.CompTime),
+		CommTime: maxf(p.path.CommTime, g.CommTime),
+		BSPComm:  maxf(p.path.BSPComm, g.BSPComm),
+		BSPSync:  maxf(p.path.BSPSync, g.BSPSync),
+		BSPComp:  maxf(p.path.BSPComp, g.BSPComp),
+		Kernels:  kernels,
+	}
+}
+
+// Kernel intercepts one computation kernel invocation: name and dims form
+// the signature, flops drives the machine model, and run performs the
+// actual numerics. When the kernel is deemed predictable, run is not called
+// and the model mean is charged to the pathset instead of virtual time.
+// It returns the duration charged to the path.
+func (p *Profiler) Kernel(name string, d1, d2, d3, d4 int, flops float64, run func()) float64 {
+	key := CompKey(name, d1, d2, d3, d4)
+	ks := p.kernel(key)
+	p.notePath(key)
+	var dt float64
+	exec := p.shouldExecute(key, ks)
+	if exec {
+		// Line-fitting extension: an under-sampled signature may still
+		// be skipped when its routine family's fit is trustworthy.
+		if est, ok := p.extrapolated(name, flops); ok && !ks.Predictable(p.opts.Eps, p.freqFor(key)) {
+			exec = false
+			dt = est
+			p.extrapolatedSkips++
+		}
+	}
+	if exec {
+		dt = p.world.user.Compute(flops)
+		run()
+		p.record(key, ks, dt)
+		p.noteFamily(name, flops, ks)
+	} else {
+		if dt == 0 {
+			dt = ks.Mean()
+		}
+		p.skipped++
+	}
+	p.path.ExecTime += dt
+	p.path.CompTime += dt
+	p.path.BSPComp += flops
+	p.volFlops += flops
+	p.pathKernelTime[key] += dt
+	return dt
+}
+
+// StartConfig begins a new tuning configuration: the pathset, per-config
+// counters, and volumetric accumulators are cleared, virtual clocks are
+// reset collectively, and — when resetStats is true — all kernel models are
+// discarded (the paper resets statistics between configurations of SLATE's
+// and CANDMC's algorithms; eager propagation keeps its models to reuse them
+// across configurations). Collective over the world communicator.
+func (p *Profiler) StartConfig(resetStats bool) {
+	p.world.internal.GatherAnyUntimed(nil) // align ranks before resetting clocks
+	p.world.user.ResetClock()
+	p.path = Pathset{Kernels: make(map[Key]int64)}
+	p.localFreq = make(map[Key]int64)
+	p.pathKernelTime = make(map[Key]float64)
+	p.kernelTime, p.compKernelTime = 0, 0
+	p.volCommWords, p.volSync, p.volFlops = 0, 0, 0
+	p.executed, p.skipped = 0, 0
+	if resetStats && p.opts.Policy != Eager {
+		p.k = make(map[Key]*kernelStats)
+		p.families = make(map[string]*familyModel)
+		p.extrapolatedSkips = 0
+	} else {
+		for _, ks := range p.k {
+			ks.perConfig = 0
+		}
+	}
+}
+
+// SetEps changes the confidence tolerance (used by sweeps reusing one
+// profiler).
+func (p *Profiler) SetEps(eps float64) { p.opts.Eps = eps }
+
+// SetPolicy changes the selective-execution policy (used by the a-priori
+// method, whose offline pass runs under online propagation).
+func (p *Profiler) SetPolicy(pol Policy) { p.opts.Policy = pol }
+
+// ExtrapolatedSkips returns how many kernel invocations were skipped via
+// family-model extrapolation rather than their own signature's model.
+func (p *Profiler) ExtrapolatedSkips() int64 { return p.extrapolatedSkips }
+
+// SetAprioriFreq installs the critical-path counts for the APriori policy.
+func (p *Profiler) SetAprioriFreq(f map[Key]int64) { p.opts.AprioriFreq = f }
+
+// Report summarizes the configuration run. Collective over the world
+// communicator: critical-path metrics and kernel-time maxima reduce with
+// max, volumetric metrics average over ranks.
+type Report struct {
+	Predicted     float64 // predicted execution time (max rank pathset)
+	PredictedComp float64 // predicted critical-path computation time
+	PredictedComm float64 // predicted critical-path communication time
+	Wall          float64 // actual virtual time consumed (max rank clock)
+	BSPCommCrit   float64 // critical-path BSP communication (words)
+	BSPSyncCrit   float64 // critical-path BSP synchronization (messages)
+	BSPCompCrit   float64 // critical-path BSP computation (flops)
+	BSPCommVol    float64 // volumetric-average BSP communication
+	BSPSyncVol    float64 // volumetric-average BSP synchronization
+	BSPCompVol    float64 // volumetric-average BSP computation
+	KernelTime    float64 // max over ranks: time executing selectable kernels
+	CompKernel    float64 // max over ranks: time executing compute kernels
+	Executed      int64   // total kernel executions across ranks
+	Skipped       int64   // total kernel skips across ranks
+}
+
+// Report gathers the configuration summary; collective over world.
+func (p *Profiler) Report() Report {
+	in := []float64{
+		p.path.ExecTime, p.path.CompTime, p.path.CommTime,
+		p.path.BSPComm, p.path.BSPSync, p.path.BSPComp,
+		p.world.user.Clock(), p.kernelTime, p.compKernelTime,
+	}
+	maxes := make([]float64, len(in))
+	p.world.internal.AllreduceUntimed(in, maxes, mpi.OpMax)
+	sums := make([]float64, 5)
+	p.world.internal.AllreduceUntimed([]float64{
+		p.volCommWords, p.volSync, p.volFlops,
+		float64(p.executed), float64(p.skipped),
+	}, sums, mpi.OpSum)
+	fp := float64(p.psize)
+	return Report{
+		Predicted:     maxes[0],
+		PredictedComp: maxes[1],
+		PredictedComm: maxes[2],
+		BSPCommCrit:   maxes[3],
+		BSPSyncCrit:   maxes[4],
+		BSPCompCrit:   maxes[5],
+		Wall:          maxes[6],
+		KernelTime:    maxes[7],
+		CompKernel:    maxes[8],
+		BSPCommVol:    sums[0] / fp,
+		BSPSyncVol:    sums[1] / fp,
+		BSPCompVol:    sums[2] / fp,
+		Executed:      int64(sums[3]),
+		Skipped:       int64(sums[4]),
+	}
+}
+
+// GlobalPathFreqs merges the final path frequency tables across ranks,
+// returning the table of the rank with the maximal predicted execution time
+// (the configuration's critical path). Collective over world. Used to seed
+// the APriori policy.
+func (p *Profiler) GlobalPathFreqs() map[Key]int64 {
+	snap := p.path.clone()
+	g := p.world.internal.AllreduceAny(intMsg{Path: snap}, mergeIntMsg).(intMsg)
+	out := make(map[Key]int64, len(g.Path.Kernels))
+	for k, v := range g.Path.Kernels {
+		out[k] = v
+	}
+	return out
+}
+
+// registerChannel records a newly created communicator's channel and
+// recursively builds aggregate channels (Figure 2, MPI_Comm_split).
+func (p *Profiler) registerChannel(ch channel.Channel) {
+	if _, ok := p.aggregates[ch.Hash()]; ok {
+		return
+	}
+	p.aggregates[ch.Hash()] = ch
+	// Combine with every known aggregate to grow the basis.
+	for {
+		grew := false
+		for _, agg := range p.aggregates {
+			comb, ok := channel.Combine(agg, ch)
+			if !ok || agg.Contains(ch) {
+				continue
+			}
+			h := comb.Hash()
+			if _, exists := p.aggregates[h]; !exists {
+				p.aggregates[h] = comb
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+}
+
+// Aggregates returns the number of registered aggregate channels.
+func (p *Profiler) Aggregates() int { return len(p.aggregates) }
+
+// HasFullGridAggregate reports whether some registered aggregate spans the
+// entire world as a cartesian basis.
+func (p *Profiler) HasFullGridAggregate() bool {
+	for _, agg := range p.aggregates {
+		if agg.CoversWorld(p.psize) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Profiler) String() string {
+	return fmt.Sprintf("critter.Profiler{rank=%d, policy=%s, eps=%g, kernels=%d}",
+		p.rank, p.opts.Policy, p.opts.Eps, len(p.k))
+}

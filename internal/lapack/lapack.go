@@ -1,0 +1,149 @@
+// Package lapack implements the dense matrix factorization kernels the
+// paper's case-study libraries invoke: Cholesky (potrf), triangular inverse
+// (trtri), LU (getrf), blocked Householder QR (geqrf/geqrt and the
+// application routines ormqr/gemqrt), and the triangular-pentagonal kernels
+// (tpqrt/tpmqrt) used by tiled QR.
+//
+// Matrices are column-major with explicit leading dimensions, as in package
+// blas. Routines panic on dimension errors and return an error only for
+// numerical failures (non-positive-definite pivot, singular diagonal).
+package lapack
+
+import (
+	"fmt"
+	"math"
+
+	"critter/internal/blas"
+)
+
+// ErrNotPD reports a non-positive-definite leading minor in Dpotrf.
+type ErrNotPD struct{ Col int }
+
+func (e ErrNotPD) Error() string {
+	return fmt.Sprintf("lapack: matrix not positive definite at column %d", e.Col)
+}
+
+// ErrSingular reports an exactly zero pivot.
+type ErrSingular struct{ Col int }
+
+func (e ErrSingular) Error() string {
+	return fmt.Sprintf("lapack: singular: zero pivot at column %d", e.Col)
+}
+
+// Dpotrf computes the lower-triangular Cholesky factor of the symmetric
+// positive definite n-by-n matrix a in place (lower triangle referenced).
+func Dpotrf(n int, a []float64, lda int) error {
+	for j := 0; j < n; j++ {
+		d := a[j+j*lda]
+		for k := 0; k < j; k++ {
+			d -= a[j+k*lda] * a[j+k*lda]
+		}
+		if d <= 0 {
+			return ErrNotPD{Col: j}
+		}
+		d = math.Sqrt(d)
+		a[j+j*lda] = d
+		for i := j + 1; i < n; i++ {
+			s := a[i+j*lda]
+			for k := 0; k < j; k++ {
+				s -= a[i+k*lda] * a[j+k*lda]
+			}
+			a[i+j*lda] = s / d
+		}
+	}
+	return nil
+}
+
+// Dtrtri inverts the lower-triangular n-by-n matrix a in place (non-unit
+// diagonal).
+func Dtrtri(n int, a []float64, lda int) error {
+	for j := 0; j < n; j++ {
+		if a[j+j*lda] == 0 {
+			return ErrSingular{Col: j}
+		}
+	}
+	// Column j of the inverse solves L x = e_j by forward substitution.
+	x := make([]float64, n)
+	inv := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := range x {
+			x[i] = 0
+		}
+		x[j] = 1
+		for i := j; i < n; i++ {
+			s := x[i]
+			for k := j; k < i; k++ {
+				s -= a[i+k*lda] * x[k]
+			}
+			x[i] = s / a[i+i*lda]
+		}
+		copy(inv[j*n:j*n+n], x)
+	}
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			a[i+j*lda] = inv[i+j*n]
+		}
+	}
+	return nil
+}
+
+// Dgetrf computes an LU factorization with partial pivoting of the m-by-n
+// matrix a in place: P*A = L*U with L unit lower trapezoidal and U upper
+// triangular. ipiv (length min(m,n)) records the row swapped with row i at
+// step i.
+func Dgetrf(m, n int, a []float64, lda int, ipiv []int) error {
+	k := min(m, n)
+	for j := 0; j < k; j++ {
+		p := j + blas.Idamax(m-j, a[j+j*lda:], 1)
+		ipiv[j] = p
+		if a[p+j*lda] == 0 {
+			return ErrSingular{Col: j}
+		}
+		if p != j {
+			for c := 0; c < n; c++ {
+				a[j+c*lda], a[p+c*lda] = a[p+c*lda], a[j+c*lda]
+			}
+		}
+		piv := a[j+j*lda]
+		for i := j + 1; i < m; i++ {
+			a[i+j*lda] /= piv
+		}
+		if j+1 < m && j+1 < n {
+			blas.Dger(m-j-1, n-j-1, -1,
+				a[j+1+j*lda:], 1,
+				a[j+(j+1)*lda:], lda,
+				a[j+1+(j+1)*lda:], lda)
+		}
+	}
+	return nil
+}
+
+// DgetrfNoPiv computes an LU factorization without pivoting; it is the
+// kernel used by Householder reconstruction, where the matrix is known to
+// admit an unpivoted factorization.
+func DgetrfNoPiv(m, n int, a []float64, lda int) error {
+	k := min(m, n)
+	for j := 0; j < k; j++ {
+		piv := a[j+j*lda]
+		if piv == 0 {
+			return ErrSingular{Col: j}
+		}
+		for i := j + 1; i < m; i++ {
+			a[i+j*lda] /= piv
+		}
+		if j+1 < m && j+1 < n {
+			blas.Dger(m-j-1, n-j-1, -1,
+				a[j+1+j*lda:], 1,
+				a[j+(j+1)*lda:], lda,
+				a[j+1+(j+1)*lda:], lda)
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

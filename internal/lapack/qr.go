@@ -1,0 +1,227 @@
+package lapack
+
+import (
+	"math"
+
+	"critter/internal/blas"
+)
+
+// Dlarfg generates an elementary Householder reflector H = I - tau*v*v^T
+// such that H*[alpha; x] = [beta; 0], with v = [1; x'] (x overwritten by the
+// tail of v). It returns (beta, tau).
+func Dlarfg(n int, alpha float64, x []float64, incx int) (beta, tau float64) {
+	if n <= 1 {
+		return alpha, 0
+	}
+	xnorm := blas.Dnrm2(n-1, x, incx)
+	if xnorm == 0 {
+		return alpha, 0
+	}
+	beta = -math.Copysign(math.Hypot(alpha, xnorm), alpha)
+	tau = (beta - alpha) / beta
+	scale := 1 / (alpha - beta)
+	blas.Dscal(n-1, scale, x, incx)
+	return beta, tau
+}
+
+// Dgeqr2 computes an unblocked Householder QR factorization of the m-by-n
+// matrix a in place: R in the upper triangle, the reflectors' essential
+// parts below the diagonal, and scalar factors in tau (length min(m,n)).
+func Dgeqr2(m, n int, a []float64, lda int, tau []float64) {
+	k := min(m, n)
+	for j := 0; j < k; j++ {
+		beta, t := Dlarfg(m-j, a[j+j*lda], a[j+1+j*lda:], 1)
+		tau[j] = t
+		a[j+j*lda] = beta
+		if t != 0 && j < n-1 {
+			// Apply H_j to A[j:m, j+1:n]: A -= tau * v * (v^T A).
+			applyReflectorLeft(m-j, n-j-1, a[j+j*lda:], t, a[j+(j+1)*lda:], lda)
+		}
+	}
+}
+
+// applyReflectorLeft applies H = I - tau*v*v^T to the rows of the r-by-c
+// block C, where v = [1; vcol[1:r]] and vcol[0] is the (ignored) beta slot.
+func applyReflectorLeft(r, c int, vcol []float64, tau float64, cm []float64, ldc int) {
+	for j := 0; j < c; j++ {
+		col := cm[j*ldc : j*ldc+r]
+		w := col[0]
+		for i := 1; i < r; i++ {
+			w += vcol[i] * col[i]
+		}
+		w *= tau
+		col[0] -= w
+		for i := 1; i < r; i++ {
+			col[i] -= vcol[i] * w
+		}
+	}
+}
+
+// Dlarft forms the upper-triangular block reflector factor T (k-by-k) for
+// the forward, column-wise reflectors stored in the m-by-k matrix v (unit
+// lower trapezoidal, essential parts below the diagonal) with scalars tau.
+func Dlarft(m, k int, v []float64, ldv int, tau []float64, t []float64, ldt int) {
+	for i := 0; i < k; i++ {
+		ti := tau[i]
+		t[i+i*ldt] = ti
+		if i == 0 || ti == 0 {
+			for j := 0; j < i; j++ {
+				t[j+i*ldt] = 0
+			}
+			continue
+		}
+		// w = V[:, 0:i]^T * v_i  (v_i has implicit 1 at row i).
+		for j := 0; j < i; j++ {
+			s := v[i+j*ldv] // V[i,j] * v_i[i]=1
+			for r := i + 1; r < m; r++ {
+				s += v[r+j*ldv] * v[r+i*ldv]
+			}
+			t[j+i*ldt] = -ti * s
+		}
+		// T[0:i, i] = T[0:i, 0:i] * w (in place, upper triangular).
+		for j := 0; j < i; j++ {
+			s := 0.0
+			for r := j; r < i; r++ {
+				s += t[j+r*ldt] * t[r+i*ldt]
+			}
+			t[j+i*ldt] = s
+		}
+	}
+}
+
+// Dlarfb applies the block reflector Q = I - V*T*V^T (or its transpose) from
+// the left to the m-by-n matrix C, with V m-by-k unit lower trapezoidal and
+// T k-by-k upper triangular: C := (I - V T^op V^T) C.
+func Dlarfb(trans bool, m, n, k int, v []float64, ldv int, t []float64, ldt int, c []float64, ldc int) {
+	if k == 0 {
+		return
+	}
+	// W = V^T * C, k-by-n (V's unit diagonal applied explicitly).
+	w := make([]float64, k*n)
+	for j := 0; j < n; j++ {
+		for l := 0; l < k; l++ {
+			s := c[l+j*ldc] // unit diagonal of V at row l
+			for i := l + 1; i < m; i++ {
+				s += v[i+l*ldv] * c[i+j*ldc]
+			}
+			w[l+j*k] = s
+		}
+	}
+	// W = T^op * W.
+	blas.Dtrmm(blas.Left, blas.Upper, trans, blas.NonUnit, k, n, 1, t, ldt, w, k)
+	// C -= V * W.
+	for j := 0; j < n; j++ {
+		for l := 0; l < k; l++ {
+			wl := w[l+j*k]
+			if wl == 0 {
+				continue
+			}
+			c[l+j*ldc] -= wl
+			for i := l + 1; i < m; i++ {
+				c[i+j*ldc] -= v[i+l*ldv] * wl
+			}
+		}
+	}
+}
+
+// Dgeqrf computes a blocked Householder QR factorization with panel width
+// nb, equivalent to Dgeqr2 in its outputs.
+func Dgeqrf(m, n, nb int, a []float64, lda int, tau []float64) {
+	k := min(m, n)
+	if nb < 1 {
+		nb = 1
+	}
+	t := make([]float64, nb*nb)
+	for j := 0; j < k; j += nb {
+		jb := min(nb, k-j)
+		Dgeqr2(m-j, jb, a[j+j*lda:], lda, tau[j:j+jb])
+		if j+jb < n {
+			Dlarft(m-j, jb, a[j+j*lda:], lda, tau[j:j+jb], t, nb)
+			Dlarfb(true, m-j, n-j-jb, jb, a[j+j*lda:], lda, t, nb, a[j+(j+jb)*lda:], lda)
+		}
+	}
+}
+
+// Dorm2r applies Q (trans=false) or Q^T (trans=true) from the left to the
+// m-by-n matrix c, where Q is defined by the k reflectors of a Dgeqr2/Dgeqrf
+// factorization stored in a (m-by-k) and tau.
+func Dorm2r(trans bool, m, n, k int, a []float64, lda int, tau []float64, c []float64, ldc int) {
+	if trans {
+		for i := 0; i < k; i++ {
+			applyReflectorToC(m, n, i, a, lda, tau[i], c, ldc)
+		}
+		return
+	}
+	for i := k - 1; i >= 0; i-- {
+		applyReflectorToC(m, n, i, a, lda, tau[i], c, ldc)
+	}
+}
+
+func applyReflectorToC(m, n, i int, a []float64, lda int, tau float64, c []float64, ldc int) {
+	if tau == 0 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		w := c[i+j*ldc]
+		for r := i + 1; r < m; r++ {
+			w += a[r+i*lda] * c[r+j*ldc]
+		}
+		w *= tau
+		c[i+j*ldc] -= w
+		for r := i + 1; r < m; r++ {
+			c[r+j*ldc] -= a[r+i*lda] * w
+		}
+	}
+}
+
+// Dorgqr forms the first k columns of Q explicitly into q (m-by-k) from a
+// Dgeqr2/Dgeqrf factorization in a and tau.
+func Dorgqr(m, k int, a []float64, lda int, tau []float64, q []float64, ldq int) {
+	for j := 0; j < k; j++ {
+		for i := 0; i < m; i++ {
+			q[i+j*ldq] = 0
+		}
+		q[j+j*ldq] = 1
+	}
+	Dorm2r(false, m, k, k, a, lda, tau, q, ldq)
+}
+
+// Dgeqrt computes a blocked QR factorization of the m-by-n tile a with inner
+// block size ib, storing the reflectors in a and the ib-by-ib triangular T
+// factors of each block column stacked in t (ldt >= ib, one ib-column group
+// per panel block, as in LAPACK DGEQRT).
+func Dgeqrt(m, n, ib int, a []float64, lda int, t []float64, ldt int, tau []float64) {
+	k := min(m, n)
+	if ib < 1 {
+		ib = 1
+	}
+	for j := 0; j < k; j += ib {
+		jb := min(ib, k-j)
+		Dgeqr2(m-j, jb, a[j+j*lda:], lda, tau[j:j+jb])
+		Dlarft(m-j, jb, a[j+j*lda:], lda, tau[j:j+jb], t[j*ldt:], ldt)
+		if j+jb < n {
+			Dlarfb(true, m-j, n-j-jb, jb, a[j+j*lda:], lda, t[j*ldt:], ldt, a[j+(j+jb)*lda:], lda)
+		}
+	}
+}
+
+// Dgemqrt applies Q^T (trans=true) or Q (trans=false) of a Dgeqrt
+// factorization (v m-by-k, t with inner block ib) from the left to the
+// m-by-n matrix c.
+func Dgemqrt(trans bool, m, n, k, ib int, v []float64, ldv int, t []float64, ldt int, c []float64, ldc int) {
+	if ib < 1 {
+		ib = 1
+	}
+	if trans {
+		for j := 0; j < k; j += ib {
+			jb := min(ib, k-j)
+			Dlarfb(true, m-j, n, jb, v[j+j*ldv:], ldv, t[j*ldt:], ldt, c[j:], ldc)
+		}
+		return
+	}
+	start := ((k - 1) / ib) * ib
+	for j := start; j >= 0; j -= ib {
+		jb := min(ib, k-j)
+		Dlarfb(false, m-j, n, jb, v[j+j*ldv:], ldv, t[j*ldt:], ldt, c[j:], ldc)
+	}
+}

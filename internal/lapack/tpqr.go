@@ -1,0 +1,139 @@
+package lapack
+
+import "critter/internal/blas"
+
+// Dtpqrt2 computes a QR factorization of the (n+m)-by-n "triangular on top
+// of pentagonal" pair [A; B] with L=0 (B fully general): A is n-by-n upper
+// triangular and is overwritten by the updated R; B is m-by-n and is
+// overwritten by the essential parts of the Householder vectors (the top
+// n-by-n identity block of V is implicit). T (n-by-n upper triangular)
+// receives the block reflector factor.
+func Dtpqrt2(m, n int, a []float64, lda int, b []float64, ldb int, t []float64, ldt int) {
+	tau := make([]float64, n)
+	for j := 0; j < n; j++ {
+		// Generate the reflector from [A[j,j]; B[:, j]].
+		beta, tj := Dlarfg(m+1, a[j+j*lda], b[j*ldb:], 1)
+		tau[j] = tj
+		a[j+j*lda] = beta
+		// Apply H_j to the remaining columns of the pair.
+		if tj != 0 {
+			for jj := j + 1; jj < n; jj++ {
+				w := a[j+jj*lda]
+				for i := 0; i < m; i++ {
+					w += b[i+j*ldb] * b[i+jj*ldb]
+				}
+				w *= tj
+				a[j+jj*lda] -= w
+				for i := 0; i < m; i++ {
+					b[i+jj*ldb] -= b[i+j*ldb] * w
+				}
+			}
+		}
+	}
+	// Build T: T[0:j, j] = T[0:j, 0:j] * (-tau_j * V[:,0:j]^T V[:,j]).
+	for j := 0; j < n; j++ {
+		t[j+j*ldt] = tau[j]
+		for i := 0; i < j; i++ {
+			s := 0.0
+			for r := 0; r < m; r++ {
+				s += b[r+i*ldb] * b[r+j*ldb]
+			}
+			t[i+j*ldt] = -tau[j] * s
+		}
+		for i := 0; i < j; i++ {
+			s := 0.0
+			for r := i; r < j; r++ {
+				s += t[i+r*ldt] * t[r+j*ldt]
+			}
+			t[i+j*ldt] = s
+		}
+	}
+}
+
+// Dtpqrt computes a blocked QR factorization of the pair [A; B] (L=0) with
+// inner block size ib, storing per-block T factors stacked in t (ldt >= ib),
+// as in LAPACK DTPQRT.
+func Dtpqrt(m, n, ib int, a []float64, lda int, b []float64, ldb int, t []float64, ldt int) {
+	if ib < 1 {
+		ib = 1
+	}
+	for j := 0; j < n; j += ib {
+		jb := min(ib, n-j)
+		Dtpqrt2(m, jb, a[j+j*lda:], lda, b[j*ldb:], ldb, t[j*ldt:], ldt)
+		if j+jb < n {
+			// Apply the block reflector to the trailing columns of the pair:
+			// top rows A[j:j+jb, j+jb:] and all of B[:, j+jb:].
+			tpApplyLeftTrans(m, n-j-jb, jb,
+				b[j*ldb:], ldb,
+				t[j*ldt:], ldt,
+				a[j+(j+jb)*lda:], lda,
+				b[(j+jb)*ldb:], ldb)
+		}
+	}
+}
+
+// tpApplyLeftTrans applies Q^T = (I - V' T V'^T)^T with V' = [I_k; V] to the
+// stacked pair [Atop (k-by-n); B (m-by-n)]:
+//
+//	W = T^T (Atop + V^T B); Atop -= W; B -= V W.
+func tpApplyLeftTrans(m, n, k int, v []float64, ldv int, t []float64, ldt int, atop []float64, ldat int, b []float64, ldb int) {
+	w := make([]float64, k*n)
+	for j := 0; j < n; j++ {
+		for l := 0; l < k; l++ {
+			s := atop[l+j*ldat]
+			for i := 0; i < m; i++ {
+				s += v[i+l*ldv] * b[i+j*ldb]
+			}
+			w[l+j*k] = s
+		}
+	}
+	blas.Dtrmm(blas.Left, blas.Upper, true, blas.NonUnit, k, n, 1, t, ldt, w, k)
+	for j := 0; j < n; j++ {
+		for l := 0; l < k; l++ {
+			atop[l+j*ldat] -= w[l+j*k]
+		}
+	}
+	blas.Dgemm(false, false, m, n, k, -1, v, ldv, w, k, 1, b, ldb)
+}
+
+// tpApplyLeftNoTrans applies Q = I - V' T V'^T to the stacked pair.
+func tpApplyLeftNoTrans(m, n, k int, v []float64, ldv int, t []float64, ldt int, atop []float64, ldat int, b []float64, ldb int) {
+	w := make([]float64, k*n)
+	for j := 0; j < n; j++ {
+		for l := 0; l < k; l++ {
+			s := atop[l+j*ldat]
+			for i := 0; i < m; i++ {
+				s += v[i+l*ldv] * b[i+j*ldb]
+			}
+			w[l+j*k] = s
+		}
+	}
+	blas.Dtrmm(blas.Left, blas.Upper, false, blas.NonUnit, k, n, 1, t, ldt, w, k)
+	for j := 0; j < n; j++ {
+		for l := 0; l < k; l++ {
+			atop[l+j*ldat] -= w[l+j*k]
+		}
+	}
+	blas.Dgemm(false, false, m, n, k, -1, v, ldv, w, k, 1, b, ldb)
+}
+
+// Dtpmqrt applies Q^T (trans=true) or Q (trans=false) of a Dtpqrt
+// factorization (V m-by-k in v, per-block T factors in t with inner block
+// ib) from the left to the stacked pair [Atop (k-by-n); B (m-by-n)].
+func Dtpmqrt(trans bool, m, n, k, ib int, v []float64, ldv int, t []float64, ldt int, atop []float64, ldat int, b []float64, ldb int) {
+	if ib < 1 {
+		ib = 1
+	}
+	if trans {
+		for j := 0; j < k; j += ib {
+			jb := min(ib, k-j)
+			tpApplyLeftTrans(m, n, jb, v[j*ldv:], ldv, t[j*ldt:], ldt, atop[j:], ldat, b, ldb)
+		}
+		return
+	}
+	start := ((k - 1) / ib) * ib
+	for j := start; j >= 0; j -= ib {
+		jb := min(ib, k-j)
+		tpApplyLeftNoTrans(m, n, jb, v[j*ldv:], ldv, t[j*ldt:], ldt, atop[j:], ldat, b, ldb)
+	}
+}

@@ -1,0 +1,174 @@
+package mpi
+
+import "fmt"
+
+// Send transmits a copy of buf to peer dest under tag. Sends are buffered
+// (they never block on the receiver), matching MPI's eager protocol: the
+// sender is charged the injection cost alpha + beta*n with multiplicative
+// noise, and the payload becomes available to the receiver one latency after
+// the send completes locally. It returns the sampled local duration.
+func (c *Comm) Send(dest, tag int, buf []float64) float64 {
+	c.checkPeer(dest)
+	m := c.w.machine
+	bytes := 8 * len(buf)
+	dt := m.PtToPtTime(bytes) * m.Noise(c.state.rng)
+	c.state.clock.Advance(dt)
+	data := append([]float64(nil), buf...)
+	c.post(&message{
+		ctx:    c.ctx,
+		src:    c.rank,
+		tag:    tag,
+		data:   data,
+		bytes:  bytes,
+		arrive: c.state.clock.Now() + m.Alpha,
+	}, dest)
+	return dt
+}
+
+// Recv blocks until a message from src with the given tag arrives, copies its
+// payload into buf (which must have the exact transmitted length), and
+// advances the receiver's clock to the payload arrival time. It returns the
+// sampled local duration (zero if the payload had already arrived in virtual
+// time).
+func (c *Comm) Recv(src, tag int, buf []float64) float64 {
+	c.checkPeer(src)
+	msg := c.match(src, tag)
+	if len(msg.data) != len(buf) {
+		panic(fmt.Sprintf("mpi: recv length mismatch: posted %d, message %d (src %d tag %d)",
+			len(buf), len(msg.data), src, tag))
+	}
+	copy(buf, msg.data)
+	before := c.state.clock.Now()
+	c.state.clock.AdvanceTo(msg.arrive)
+	return c.state.clock.Now() - before
+}
+
+// Sendrecv performs a combined send to dest and receive from src, as
+// MPI_Sendrecv. Because sends are buffered it cannot deadlock.
+func (c *Comm) Sendrecv(dest, sendTag int, sendBuf []float64, src, recvTag int, recvBuf []float64) {
+	c.Send(dest, sendTag, sendBuf)
+	c.Recv(src, recvTag, recvBuf)
+}
+
+// Request represents an outstanding nonblocking operation; complete it with
+// Wait.
+type Request struct {
+	c      *Comm
+	isSend bool
+	src    int
+	tag    int
+	buf    []float64
+	done   bool
+}
+
+// Isend starts a nonblocking send. The payload is captured immediately (the
+// caller may reuse buf); the sender is charged only the latency alpha, with
+// the transfer cost reflected in the message arrival time.
+func (c *Comm) Isend(dest, tag int, buf []float64) *Request {
+	c.checkPeer(dest)
+	m := c.w.machine
+	bytes := 8 * len(buf)
+	cost := m.PtToPtTime(bytes) * m.Noise(c.state.rng)
+	c.state.clock.Advance(m.Alpha)
+	data := append([]float64(nil), buf...)
+	c.post(&message{
+		ctx:    c.ctx,
+		src:    c.rank,
+		tag:    tag,
+		data:   data,
+		bytes:  bytes,
+		arrive: c.state.clock.Now() + cost,
+	}, dest)
+	return &Request{c: c, isSend: true, done: true}
+}
+
+// Irecv posts a nonblocking receive; the match occurs when Wait is called.
+// buf must remain valid until then.
+func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
+	c.checkPeer(src)
+	return &Request{c: c, isSend: false, src: src, tag: tag, buf: buf}
+}
+
+// Wait completes the request, blocking if necessary, and returns the sampled
+// local duration attributable to the completion.
+func (r *Request) Wait() float64 {
+	if r.done {
+		return 0
+	}
+	r.done = true
+	return r.c.Recv(r.src, r.tag, r.buf)
+}
+
+// Done reports whether the request has been completed by Wait.
+func (r *Request) Done() bool { return r.done }
+
+// Waitall completes all requests in order.
+func Waitall(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// SendAny transmits an arbitrary payload to dest under tag without advancing
+// any virtual clock. It exists for the profiler's internal piggyback
+// messages, whose overhead the paper treats as negligible. The payload is
+// not copied; it must be treated as immutable after sending.
+func (c *Comm) SendAny(dest, tag int, payload any) {
+	c.checkPeer(dest)
+	c.post(&message{
+		ctx:    c.ctx,
+		src:    c.rank,
+		tag:    tag,
+		any:    payload,
+		arrive: c.state.clock.Now(),
+	}, dest)
+}
+
+// RecvAny blocks for an internal payload from src under tag. Clocks are not
+// advanced.
+func (c *Comm) RecvAny(src, tag int) any {
+	c.checkPeer(src)
+	msg := c.match(src, tag)
+	return msg.any
+}
+
+// ExchangeAny sends payload to peer and receives the peer's payload, both
+// untimed. Both sides must call it. It is the runtime's analogue of the
+// internal PMPI_Sendrecv in Figure 2 of the paper.
+func (c *Comm) ExchangeAny(peer, tag int, payload any) any {
+	c.SendAny(peer, tag, payload)
+	return c.RecvAny(peer, tag)
+}
+
+// post delivers msg to the destination comm-rank's mailbox.
+func (c *Comm) post(msg *message, dest int) {
+	w := c.w
+	worldDest := c.group[dest]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.checkAbortLocked()
+	box := w.boxes[worldDest]
+	box.queue = append(box.queue, msg)
+	w.cond.Broadcast()
+}
+
+// match blocks until a message with (ctx, src, tag) is present in this
+// rank's mailbox and removes it (FIFO among equals).
+func (c *Comm) match(src, tag int) *message {
+	w := c.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	box := w.boxes[c.state.worldRank]
+	for {
+		w.checkAbortLocked()
+		for i, m := range box.queue {
+			if m.ctx == c.ctx && m.src == src && m.tag == tag {
+				box.queue = append(box.queue[:i], box.queue[i+1:]...)
+				return m
+			}
+		}
+		w.cond.Wait()
+	}
+}

@@ -1,0 +1,214 @@
+// Package mpi implements a deterministic, in-process message-passing runtime
+// with MPI-like semantics and virtual time. It is the substrate on which the
+// Critter profiler and the distributed factorization libraries run.
+//
+// Ranks execute as goroutines. Each rank owns a virtual clock (package sim);
+// point-to-point messages and collectives advance clocks according to an
+// alpha-beta-gamma machine model with deterministic per-rank noise, so a
+// fixed seed reproduces identical virtual timings regardless of goroutine
+// scheduling.
+//
+// The interface mirrors the MPI subset used by the paper's four case-study
+// libraries: blocking and nonblocking point-to-point (Send, Recv, Sendrecv,
+// Isend, Irecv, Wait), the collectives Bcast, Reduce, Allreduce, Allgather,
+// Gather, Scatter, Barrier, and communicator construction via Split and Dup.
+// Payloads are []float64 (application data) or arbitrary values via the
+// *Any variants (used by the profiler's internal piggyback messages).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"critter/internal/sim"
+)
+
+// ErrAborted is the panic value raised in every rank when some rank panics,
+// so a single failure cannot deadlock the remaining ranks.
+var ErrAborted = fmt.Errorf("mpi: world aborted due to failure on another rank")
+
+// World is a set of P ranks sharing a machine model and a mailbox fabric.
+// Create one with NewWorld and run an SPMD program with Run.
+type World struct {
+	size    int
+	machine sim.Machine
+	seed    uint64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	ranks   []*rankState
+	boxes   []*mailbox
+	rounds  map[roundKey]*collRound
+	aborted bool
+	abortE  any // first failure, re-raised by Run
+
+	// Hooks let the profiler observe raw traffic without wrapping every
+	// call site; unused (nil) in plain runs.
+	nextCtx uint64
+}
+
+// rankState is the per-rank private state. It is confined to the rank's
+// goroutine except for the mailbox, which lives in World.boxes.
+type rankState struct {
+	worldRank int
+	clock     sim.Clock
+	rng       *sim.RNG
+}
+
+// mailbox holds in-flight point-to-point messages destined to one rank.
+// Guarded by World.mu.
+type mailbox struct {
+	queue []*message
+}
+
+// message is one point-to-point transfer.
+type message struct {
+	ctx    uint64
+	src    int // rank within the communicator
+	tag    int
+	data   []float64 // copied at send time; nil for Any payloads
+	any    any
+	bytes  int
+	arrive float64 // virtual time at which the payload is fully available
+}
+
+type roundKey struct {
+	ctx uint64
+	seq uint64
+}
+
+// collRound coordinates one collective operation instance. Guarded by
+// World.mu; the condition variable is the world-wide one.
+type collRound struct {
+	arrived  int
+	departed int
+	maxT     float64
+	payloads []any
+	clocks   []float64
+	result   any
+	done     bool
+}
+
+// NewWorld creates a world of size ranks with the given machine model and
+// noise seed. It panics if size < 1 or the machine fails validation.
+func NewWorld(size int, machine sim.Machine, seed uint64) *World {
+	if size < 1 {
+		panic("mpi: world size must be at least 1")
+	}
+	if err := machine.Validate(); err != nil {
+		panic(err)
+	}
+	w := &World{
+		size:    size,
+		machine: machine,
+		seed:    seed,
+		ranks:   make([]*rankState, size),
+		boxes:   make([]*mailbox, size),
+		rounds:  make(map[roundKey]*collRound),
+		nextCtx: 1,
+	}
+	w.cond = sync.NewCond(&w.mu)
+	for r := 0; r < size; r++ {
+		w.ranks[r] = &rankState{
+			worldRank: r,
+			rng:       sim.NewRNG(sim.Mix(seed, uint64(r), 0x6d7069)),
+		}
+		w.boxes[r] = &mailbox{}
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Machine returns the world's machine model.
+func (w *World) Machine() sim.Machine { return w.machine }
+
+// Seed returns the world's noise seed.
+func (w *World) Seed() uint64 { return w.seed }
+
+// Run executes body once per rank, concurrently, passing each rank its world
+// communicator. It returns a non-nil error if any rank panicked; the
+// remaining ranks are woken and unwound via ErrAborted panics.
+// A World must not be reused after Run returns.
+func (w *World) Run(body func(c *Comm)) error {
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			completed := false
+			defer func() {
+				if e := recover(); e != nil {
+					w.abort(e)
+				} else if !completed {
+					// The goroutine exited via runtime.Goexit (e.g.
+					// t.Fatal inside a rank body); peers must not be
+					// left blocked.
+					w.abort(fmt.Errorf("rank %d exited abnormally", rank))
+				}
+			}()
+			body(w.worldComm(rank))
+			completed = true
+		}(r)
+	}
+	wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.aborted {
+		if err, ok := w.abortE.(error); ok {
+			return fmt.Errorf("mpi: rank failure: %w", err)
+		}
+		return fmt.Errorf("mpi: rank failure: %v", w.abortE)
+	}
+	return nil
+}
+
+// abort records the first failure and wakes all blocked ranks.
+func (w *World) abort(e any) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.aborted {
+		w.aborted = true
+		w.abortE = e
+	}
+	w.cond.Broadcast()
+}
+
+// checkAbortLocked panics with ErrAborted if the world has failed. Must be
+// called with w.mu held; the panic unwinds through the caller's defers.
+func (w *World) checkAbortLocked() {
+	if w.aborted {
+		panic(ErrAborted)
+	}
+}
+
+// worldComm builds rank's handle on the world communicator (context 0).
+func (w *World) worldComm(rank int) *Comm {
+	group := make([]int, w.size)
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{
+		w:     w,
+		ctx:   0,
+		rank:  rank,
+		group: group,
+		state: w.ranks[rank],
+	}
+}
+
+// round returns (creating if needed) the collective round for key, sized for
+// p participants. Caller holds w.mu.
+func (w *World) roundLocked(key roundKey, p int) *collRound {
+	rd, ok := w.rounds[key]
+	if !ok {
+		rd = &collRound{
+			payloads: make([]any, p),
+			clocks:   make([]float64, p),
+		}
+		w.rounds[key] = rd
+	}
+	return rd
+}

@@ -1,0 +1,203 @@
+// Package slate implements task-style tiled dense factorizations on 2D
+// block-cyclic process grids, modeled on SLATE's potrf and geqrf routines
+// (Gates et al.), the second and fourth case studies of the paper. Tiles of
+// a tunable size are distributed round-robin over a pr-by-pc grid; tile
+// dependencies are satisfied with nonblocking point-to-point communication
+// (isend/recv), matching the kernel population the paper reports for SLATE.
+package slate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"critter/internal/critter"
+	"critter/internal/grid"
+)
+
+// TileMatrix stores the locally owned nb-by-nb tiles of an (mt*nb)x(nt*nb)
+// matrix distributed block-cyclically: tile (I, J) lives on grid rank
+// (I mod pr, J mod pc). Tiles are column-major.
+type TileMatrix struct {
+	G      *grid.Grid2D
+	NB     int
+	MT, NT int
+	tiles  map[[2]int][]float64
+}
+
+// NewTileMatrix creates an empty tile matrix of mt-by-nt tiles.
+func NewTileMatrix(g *grid.Grid2D, mt, nt, nb int) *TileMatrix {
+	return &TileMatrix{G: g, NB: nb, MT: mt, NT: nt, tiles: make(map[[2]int][]float64)}
+}
+
+// Owner returns the grid rank owning tile (i, j).
+func (t *TileMatrix) Owner(i, j int) int {
+	return t.G.RankOf(i%t.G.PR, j%t.G.PC)
+}
+
+// Mine reports whether the calling rank owns tile (i, j).
+func (t *TileMatrix) Mine(i, j int) bool { return t.Owner(i, j) == t.G.All.Rank() }
+
+// Tile returns (allocating if needed) the local tile (i, j); it panics if
+// the tile is not local.
+func (t *TileMatrix) Tile(i, j int) []float64 {
+	if !t.Mine(i, j) {
+		panic(fmt.Sprintf("slate: tile (%d,%d) not owned by rank %d", i, j, t.G.All.Rank()))
+	}
+	k := [2]int{i, j}
+	tl, ok := t.tiles[k]
+	if !ok {
+		tl = make([]float64, t.NB*t.NB)
+		t.tiles[k] = tl
+	}
+	return tl
+}
+
+// SetTile installs data as local tile (i, j).
+func (t *TileMatrix) SetTile(i, j int, data []float64) { t.tiles[[2]int{i, j}] = data }
+
+// FillSymmetricPD fills the lower tiles (i >= j) with the deterministic
+// symmetric positive definite test matrix
+// A[i][j] = 1/(1+|i-j|) + boost*delta_ij, which is strictly diagonally
+// dominant and locally computable on every rank.
+func (t *TileMatrix) FillSymmetricPD() {
+	n := t.NT * t.NB
+	boost := 4 + 2*math.Log(float64(n))
+	for i := 0; i < t.MT; i++ {
+		for j := 0; j <= i && j < t.NT; j++ {
+			if !t.Mine(i, j) {
+				continue
+			}
+			tl := t.Tile(i, j)
+			for c := 0; c < t.NB; c++ {
+				for r := 0; r < t.NB; r++ {
+					gi, gj := i*t.NB+r, j*t.NB+c
+					v := spdEntry(gi, gj, boost)
+					tl[r+c*t.NB] = v
+				}
+			}
+		}
+	}
+}
+
+func spdEntry(i, j int, boost float64) float64 {
+	d := i - j
+	if d < 0 {
+		d = -d
+	}
+	v := 1.0 / float64(1+d)
+	if i == j {
+		v += boost
+	}
+	return v
+}
+
+// FillGeneral fills all local tiles with a deterministic dense test matrix.
+func (t *TileMatrix) FillGeneral(seed uint64) {
+	for i := 0; i < t.MT; i++ {
+		for j := 0; j < t.NT; j++ {
+			if !t.Mine(i, j) {
+				continue
+			}
+			tl := t.Tile(i, j)
+			for c := 0; c < t.NB; c++ {
+				for r := 0; r < t.NB; r++ {
+					gi, gj := i*t.NB+r, j*t.NB+c
+					tl[r+c*t.NB] = generalEntry(gi, gj, seed)
+				}
+			}
+		}
+	}
+}
+
+// generalEntry is a deterministic pseudo-random value in [-1, 1) derived
+// from the global coordinates, so every rank generates consistent data.
+func generalEntry(i, j int, seed uint64) float64 {
+	h := seed + uint64(i)*0x9e3779b97f4a7c15 + uint64(j)*0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return 2*float64(h>>11)/(1<<53) - 1
+}
+
+// GatherDense assembles the full matrix on grid rank root using the raw
+// (unprofiled) communicator, zero-filling tiles that were never written.
+// Verification traffic must not enter the kernel profiles.
+func (t *TileMatrix) GatherDense(root int) []float64 {
+	raw := t.G.All.Raw()
+	me := raw.Rank()
+	m, n := t.MT*t.NB, t.NT*t.NB
+	var full []float64
+	if me == root {
+		full = make([]float64, m*n)
+	}
+	buf := make([]float64, t.NB*t.NB)
+	for i := 0; i < t.MT; i++ {
+		for j := 0; j < t.NT; j++ {
+			owner := t.Owner(i, j)
+			tag := 1<<20 + i*t.NT + j
+			switch {
+			case owner == root && me == root:
+				if tl, ok := t.tiles[[2]int{i, j}]; ok {
+					copyTileIntoDense(full, m, tl, i, j, t.NB)
+				}
+			case me == owner:
+				tl, ok := t.tiles[[2]int{i, j}]
+				if !ok {
+					tl = buf
+					for k := range tl {
+						tl[k] = 0
+					}
+				}
+				raw.Send(root, tag, tl)
+			case me == root:
+				raw.Recv(owner, tag, buf)
+				copyTileIntoDense(full, m, buf, i, j, t.NB)
+			}
+		}
+	}
+	return full
+}
+
+func copyTileIntoDense(full []float64, ld int, tile []float64, i, j, nb int) {
+	for c := 0; c < nb; c++ {
+		copy(full[i*nb+(j*nb+c)*ld:i*nb+(j*nb+c)*ld+nb], tile[c*nb:(c+1)*nb])
+	}
+}
+
+// tileBcast moves one buffer from owner to every rank in recips (sorted,
+// distinct grid ranks) using profiled isend/recv. Every rank must call it
+// with identical arguments; returns the tile contents on ranks in recips and
+// on the owner, nil elsewhere. Isend requests are appended to reqs for
+// deferred completion.
+func tileBcast(cc *critter.Comm, owner int, recips []int, tag int, buf []float64, words int, reqs *[]*critter.Request) []float64 {
+	me := cc.Rank()
+	if me == owner {
+		for _, r := range recips {
+			if r != owner {
+				*reqs = append(*reqs, cc.Isend(r, tag, buf))
+			}
+		}
+		return buf
+	}
+	for _, r := range recips {
+		if r == me {
+			in := make([]float64, words)
+			cc.Recv(owner, tag, in)
+			return in
+		}
+	}
+	return nil
+}
+
+// sortedRanks turns a set of grid ranks into a deterministic slice.
+func sortedRanks(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,202 @@
+package slate
+
+import (
+	"math"
+	"testing"
+
+	"critter/internal/blas"
+	"critter/internal/critter"
+	"critter/internal/grid"
+	"critter/internal/mpi"
+	"critter/internal/sim"
+)
+
+func runGrid(t *testing.T, pr, pc int, eps float64, policy critter.Policy,
+	body func(p *critter.Profiler, g *grid.Grid2D)) {
+	t.Helper()
+	m := sim.DefaultMachine()
+	w := mpi.NewWorld(pr*pc, m, 11)
+	if err := w.Run(func(c *mpi.Comm) {
+		p, cc := critter.New(c, critter.Options{Policy: policy, Eps: eps})
+		g := grid.New2D(cc, pr, pc)
+		body(p, g)
+	}); err != nil {
+		t.Fatalf("world: %v", err)
+	}
+}
+
+func frob(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func TestCholConfigValidate(t *testing.T) {
+	ok := CholConfig{N: 64, NB: 8, PR: 2, PC: 2}
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []CholConfig{
+		{N: 65, NB: 8, PR: 2, PC: 2},
+		{N: 64, NB: 8, PR: 2, PC: 3},
+		{N: 64, NB: 8, PR: 2, PC: 2, Lookahead: 2},
+	}
+	for i, c := range bad {
+		if c.Validate(4) == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func testCholeskyResidual(t *testing.T, pr, pc, n, nb, la int) {
+	cfg := CholConfig{N: n, NB: nb, Lookahead: la, PR: pr, PC: pc}
+	if err := cfg.Validate(pr * pc); err != nil {
+		t.Fatal(err)
+	}
+	runGrid(t, pr, pc, 0, critter.Conditional, func(p *critter.Profiler, g *grid.Grid2D) {
+		nt := n / nb
+		a := NewTileMatrix(g, nt, nt, nb)
+		a.FillSymmetricPD()
+		ref := a.GatherDense(0)
+		Cholesky(p, a, cfg)
+		l := a.GatherDense(0)
+		if g.All.Rank() != 0 {
+			return
+		}
+		// Zero above-diagonal, rebuild A, compare.
+		for j := 0; j < n; j++ {
+			for i := 0; i < j; i++ {
+				l[i+j*n] = 0
+				ref[i+j*n] = ref[j+i*n] // mirror lower reference for comparison
+			}
+		}
+		llt := make([]float64, n*n)
+		blas.Dgemm(false, true, n, n, n, 1, l, n, l, n, 0, llt, n)
+		diff := make([]float64, n*n)
+		for i := range diff {
+			diff[i] = llt[i] - ref[i]
+		}
+		if rel := frob(diff) / frob(ref); rel > 1e-10 {
+			t.Errorf("grid %dx%d n=%d nb=%d la=%d: ||A-LL^T||/||A|| = %g", pr, pc, n, nb, la, rel)
+		}
+	})
+}
+
+func TestCholeskyResidual2x2(t *testing.T)       { testCholeskyResidual(t, 2, 2, 48, 8, 0) }
+func TestCholeskyResidualLookahead(t *testing.T) { testCholeskyResidual(t, 2, 2, 48, 8, 1) }
+func TestCholeskyResidual1x4(t *testing.T)       { testCholeskyResidual(t, 1, 4, 32, 8, 0) }
+func TestCholeskyResidual4x1(t *testing.T)       { testCholeskyResidual(t, 4, 1, 32, 8, 1) }
+func TestCholeskyResidual2x3(t *testing.T)       { testCholeskyResidual(t, 2, 3, 36, 6, 0) }
+
+func TestCholeskyLookaheadSameFactor(t *testing.T) {
+	// Lookahead reorders operations but must produce the same factor.
+	n, nb := 32, 8
+	var l0, l1 []float64
+	for _, la := range []int{0, 1} {
+		cfg := CholConfig{N: n, NB: nb, Lookahead: la, PR: 2, PC: 2}
+		runGrid(t, 2, 2, 0, critter.Conditional, func(p *critter.Profiler, g *grid.Grid2D) {
+			a := NewTileMatrix(g, n/nb, n/nb, nb)
+			a.FillSymmetricPD()
+			Cholesky(p, a, cfg)
+			got := a.GatherDense(0)
+			if g.All.Rank() == 0 {
+				if la == 0 {
+					l0 = got
+				} else {
+					l1 = got
+				}
+			}
+		})
+	}
+	for i := range l0 {
+		if math.Abs(l0[i]-l1[i]) > 1e-11 {
+			t.Fatalf("lookahead changed the factor at %d: %g vs %g", i, l0[i], l1[i])
+		}
+	}
+}
+
+func TestCholeskySelectiveExecutionRuns(t *testing.T) {
+	// Under selective execution numerics are garbage, but the schedule
+	// must complete without hangs and skip a nontrivial number of kernels.
+	cfg := CholConfig{N: 64, NB: 8, Lookahead: 0, PR: 2, PC: 2}
+	runGrid(t, 2, 2, 0.4, critter.Online, func(p *critter.Profiler, g *grid.Grid2D) {
+		a := NewTileMatrix(g, 8, 8, 8)
+		a.FillSymmetricPD()
+		Cholesky(p, a, cfg)
+		rep := p.Report()
+		if g.All.Rank() == 0 && rep.Skipped == 0 {
+			t.Error("no kernels skipped at loose tolerance")
+		}
+	})
+}
+
+func testQRGram(t *testing.T, pr, pc, m, n, nb, ib int) {
+	cfg := QRConfig{M: m, N: n, NB: nb, IB: ib, PR: pr, PC: pc}
+	if err := cfg.Validate(pr * pc); err != nil {
+		t.Fatal(err)
+	}
+	runGrid(t, pr, pc, 0, critter.Conditional, func(p *critter.Profiler, g *grid.Grid2D) {
+		a := NewTileMatrix(g, m/nb, n/nb, nb)
+		a.FillGeneral(5)
+		orig := a.GatherDense(0)
+		QR(p, a, cfg)
+		r := a.GatherDense(0)
+		if g.All.Rank() != 0 {
+			return
+		}
+		// R is the upper triangle; A^T A must equal R^T R.
+		for j := 0; j < n; j++ {
+			for i := j + 1; i < m; i++ {
+				r[i+j*m] = 0
+			}
+		}
+		ata := make([]float64, n*n)
+		rtr := make([]float64, n*n)
+		blas.Dgemm(true, false, n, n, m, 1, orig, m, orig, m, 0, ata, n)
+		blas.Dgemm(true, false, n, n, m, 1, r, m, r, m, 0, rtr, n)
+		diff := make([]float64, n*n)
+		for i := range diff {
+			diff[i] = ata[i] - rtr[i]
+		}
+		if rel := frob(diff) / frob(ata); rel > 1e-10 {
+			t.Errorf("grid %dx%d %dx%d nb=%d ib=%d: ||A^TA - R^TR||/||A^TA|| = %g",
+				pr, pc, m, n, nb, ib, rel)
+		}
+	})
+}
+
+func TestQRGram2x2(t *testing.T)         { testQRGram(t, 2, 2, 64, 32, 8, 4) }
+func TestQRGramInnerBlock1(t *testing.T) { testQRGram(t, 2, 2, 48, 16, 8, 8) }
+func TestQRGram4x1(t *testing.T)         { testQRGram(t, 4, 1, 64, 16, 8, 2) }
+func TestQRGram1x4(t *testing.T)         { testQRGram(t, 1, 4, 32, 32, 8, 4) }
+
+func TestQRSquare(t *testing.T) { testQRGram(t, 2, 2, 32, 32, 8, 4) }
+
+func TestQRConfigValidate(t *testing.T) {
+	if (QRConfig{M: 32, N: 64, NB: 8, IB: 4, PR: 2, PC: 2}).Validate(4) == nil {
+		t.Error("M < N accepted")
+	}
+	if (QRConfig{M: 64, N: 32, NB: 8, IB: 16, PR: 2, PC: 2}).Validate(4) == nil {
+		t.Error("IB > NB accepted")
+	}
+}
+
+func TestTileMatrixOwnership(t *testing.T) {
+	runGrid(t, 2, 2, 0, critter.Conditional, func(p *critter.Profiler, g *grid.Grid2D) {
+		a := NewTileMatrix(g, 4, 4, 8)
+		owners := map[int]bool{}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				owners[a.Owner(i, j)] = true
+				if a.Owner(i, j) != g.RankOf(i%2, j%2) {
+					t.Errorf("tile (%d,%d) owner %d", i, j, a.Owner(i, j))
+				}
+			}
+		}
+		if len(owners) != 4 {
+			t.Errorf("expected 4 distinct owners, got %d", len(owners))
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package stats implements the single-pass statistical machinery the
+// approximate autotuning framework is built on: Welford mean/variance
+// accumulators, normal-theory confidence intervals, and the scaled
+// ("critical-path frequency") intervals of Section III-A of the paper, where
+// knowledge that a kernel appears alpha times along the current sub-critical
+// path shrinks its confidence interval by a factor sqrt(alpha).
+package stats
+
+import "math"
+
+// Z95 is the two-sided 95% normal quantile used for all confidence
+// intervals in the paper's experiments ("All experiments use a 95%
+// confidence level").
+const Z95 = 1.959963984540054
+
+// Welford accumulates a sample mean and variance in a single pass.
+// The zero value is an empty accumulator ready for use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge combines another accumulator into w (parallel Welford update).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	d := o.mean - w.mean
+	tot := n1 + n2
+	w.mean += d * n2 / tot
+	w.m2 += o.m2 + d*d*n1*n2/tot
+	w.n += o.n
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Reset empties the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// CI returns the half-width of the two-sided 95% confidence interval for the
+// mean: z * s / sqrt(n). With fewer than two samples the interval is
+// unbounded (returned as +Inf) so callers never deem an unsampled kernel
+// predictable.
+func (w *Welford) CI() float64 {
+	if w.n < 2 {
+		return math.Inf(1)
+	}
+	return Z95 * w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// ScaledCI returns the confidence interval half-width after crediting the
+// kernel's execution count freq along the current sub-critical path. Per
+// Section III-A, a kernel appearing alpha times along the path is modeled
+// with variance sigma^2/alpha, shrinking the interval by sqrt(alpha).
+// freq < 1 is treated as 1.
+func (w *Welford) ScaledCI(freq int64) float64 {
+	ci := w.CI()
+	if freq > 1 && !math.IsInf(ci, 1) {
+		ci /= math.Sqrt(float64(freq))
+	}
+	return ci
+}
+
+// RelCI returns the relative confidence interval eps-tilde = CI/mean used for
+// the skip decision (eps-tilde <= eps). A zero or negative mean yields +Inf,
+// so degenerate kernels are never skipped.
+func (w *Welford) RelCI(freq int64) float64 {
+	if w.mean <= 0 {
+		return math.Inf(1)
+	}
+	return w.ScaledCI(freq) / w.mean
+}
+
+// Predictable reports whether the kernel's execution time is sufficiently
+// predictable at confidence tolerance eps, given path frequency freq.
+func (w *Welford) Predictable(eps float64, freq int64) bool {
+	return w.RelCI(freq) <= eps
+}
+
+// RelErr returns |pred-actual| / actual, the relative prediction error metric
+// of Section VI-A. A non-positive actual yields 0 when pred equals actual and
+// +Inf otherwise.
+func RelErr(pred, actual float64) float64 {
+	if actual <= 0 {
+		if pred == actual {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(pred-actual) / actual
+}
+
+// MeanLogErr returns log2 of the geometric mean of the relative errors, the
+// "mean log prediction error" plotted in Figures 4 and 5. Zero errors are
+// floored at 2^-20 so a perfect prediction does not produce -Inf.
+func MeanLogErr(errs []float64) float64 {
+	if len(errs) == 0 {
+		return math.Inf(-1)
+	}
+	const floor = 9.5367431640625e-07 // 2^-20
+	sum := 0.0
+	for _, e := range errs {
+		if e < floor {
+			e = floor
+		}
+		sum += math.Log2(e)
+	}
+	return sum / float64(len(errs))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum of xs (-Inf for empty input).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs (+Inf for empty input).
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
