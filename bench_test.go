@@ -10,6 +10,7 @@ package critter_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"critter/internal/autotune"
@@ -98,6 +99,63 @@ func BenchmarkFig5CandmcTuning(b *testing.B) {
 // BenchmarkFig5SlateQRTuning regenerates Figure 5b/5d/5f/5h.
 func BenchmarkFig5SlateQRTuning(b *testing.B) {
 	benchTuning(b, autotune.SlateQR(autotune.QuickScale()))
+}
+
+// --- Concurrent sweep executor ---
+
+// BenchmarkParallelSweep measures the concurrent sweep executor on the full
+// four-policy x five-tolerance grid of a study: workers=1 is the sequential
+// path, workers=GOMAXPROCS the default pool. The results are bit-identical
+// across worker counts (each sweep owns an identically-seeded world), so
+// the wall-clock ratio is pure multi-core speedup.
+func BenchmarkParallelSweep(b *testing.B) {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 1 && n != counts[1] {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			study := autotune.SlateCholesky(autotune.QuickScale())
+			for i := 0; i < b.N; i++ {
+				_, err := autotune.Experiment{
+					Study:   study,
+					EpsList: benchEps(),
+					Machine: benchMachine(),
+					Seed:    42,
+					Workers: workers,
+				}.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSuite measures the suite executor across all four case
+// studies sharing one worker pool at a single tolerance.
+func BenchmarkParallelSuite(b *testing.B) {
+	mk := func(st autotune.Study) autotune.Experiment {
+		return autotune.Experiment{
+			Study:   st,
+			EpsList: []float64{0.125},
+			Machine: benchMachine(),
+			Seed:    42,
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		_, err := autotune.ExperimentSuite{
+			Experiments: []autotune.Experiment{
+				mk(autotune.CapitalCholesky(autotune.QuickScale())),
+				mk(autotune.SlateCholesky(autotune.QuickScale())),
+				mk(autotune.CandmcQR(autotune.QuickScale())),
+				mk(autotune.SlateQR(autotune.QuickScale())),
+			},
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Ablation benches (DESIGN.md section 4) ---

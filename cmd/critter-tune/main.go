@@ -1,18 +1,24 @@
-// Command critter-tune runs one autotuning study under a single
-// selective-execution policy and tolerance, printing the per-configuration
-// report: full execution time, predicted time, prediction error, and the
-// kernel execution/skip counts.
+// Command critter-tune runs one autotuning study over a grid of
+// selective-execution policies and tolerances, printing per-configuration
+// reports: full execution time, predicted time, prediction error, and the
+// kernel execution/skip counts. Sweeps are dispatched to the concurrent
+// executor; -workers bounds the pool.
 //
 // Usage:
 //
 //	critter-tune -study capital -policy eager -eps 0.125 [-scale quick]
+//	critter-tune -study slate-chol -policy online,apriori -eps 1,0.25,0.0625 -workers 4
+//	critter-tune -study candmc -policy online -eps 0.125 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"critter/internal/autotune"
 	"critter/internal/critter"
@@ -21,45 +27,33 @@ import (
 
 func main() {
 	studyName := flag.String("study", "capital", "study: capital, slate-chol, candmc, slate-qr")
-	policyName := flag.String("policy", "online", "policy: conditional, local, online, apriori, eager")
-	eps := flag.Float64("eps", 0.125, "confidence tolerance (<= 0 disables selective execution)")
+	policyFlag := flag.String("policy", "online", "comma-separated policies: conditional, local, online, apriori, eager")
+	epsFlag := flag.String("eps", "0.125", "comma-separated confidence tolerances (<= 0 disables selective execution)")
 	scaleName := flag.String("scale", "default", "problem scale: default or quick")
 	seed := flag.Uint64("seed", 42, "noise seed")
 	noise := flag.Float64("noise", 0.05, "machine noise sigma")
+	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit the result grid as JSON instead of tables")
 	flag.Parse()
 
-	scale := autotune.DefaultScale()
-	if *scaleName == "quick" {
-		scale = autotune.QuickScale()
-	}
-	var study autotune.Study
-	switch *studyName {
-	case "capital":
-		study = autotune.CapitalCholesky(scale)
-	case "slate-chol":
-		study = autotune.SlateCholesky(scale)
-	case "candmc":
-		study = autotune.CandmcQR(scale)
-	case "slate-qr":
-		study = autotune.SlateQR(scale)
-	default:
-		fmt.Fprintf(os.Stderr, "critter-tune: unknown study %q\n", *studyName)
+	scale, err := autotune.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
 		os.Exit(2)
 	}
-	var policy critter.Policy
-	switch *policyName {
-	case "conditional":
-		policy = critter.Conditional
-	case "local":
-		policy = critter.Local
-	case "online":
-		policy = critter.Online
-	case "apriori":
-		policy = critter.APriori
-	case "eager":
-		policy = critter.Eager
-	default:
-		fmt.Fprintf(os.Stderr, "critter-tune: unknown policy %q\n", *policyName)
+	study, err := autotune.ParseStudy(*studyName, scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
+		os.Exit(2)
+	}
+	policies, err := parsePolicies(*policyFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
+		os.Exit(2)
+	}
+	epsList, err := parseEpsList(*epsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -67,30 +61,93 @@ func main() {
 	machine.NoiseSigma = *noise
 	res, err := autotune.Experiment{
 		Study:    study,
-		EpsList:  []float64{*eps},
+		EpsList:  epsList,
 		Machine:  machine,
 		Seed:     *seed,
-		Policies: []critter.Policy{policy},
+		Policies: policies,
+		Workers:  *workers,
 	}.Run()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
 		os.Exit(1)
 	}
-	sw := res.Sweeps[0][0]
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for pi, pol := range res.Policies {
+		for ei, eps := range res.EpsList {
+			if pi > 0 || ei > 0 {
+				fmt.Println()
+			}
+			printSweep(study, pol, eps, res.Sweeps[pi][ei])
+		}
+	}
+}
+
+// parsePolicies resolves a comma-separated policy list.
+func parsePolicies(s string) ([]critter.Policy, error) {
+	var out []critter.Policy
+	for _, name := range strings.Split(s, ",") {
+		p, err := critter.ParsePolicy(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parseEpsList resolves a comma-separated tolerance list. Non-finite
+// values are rejected at the gate: they would run the full simulation only
+// to produce nonsense tables or an unencodable JSON result.
+func parseEpsList(s string) ([]float64, error) {
+	var out []float64
+	for _, field := range strings.Split(s, ",") {
+		e, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil || math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil, fmt.Errorf("bad eps %q", field)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// printSweep emits one (policy, eps) sweep's per-configuration table and
+// summary lines.
+func printSweep(study autotune.Study, pol critter.Policy, eps float64, sw autotune.SweepResult) {
 	fmt.Printf("study %s  policy %s  eps %g  ranks %d  configs %d\n",
-		study.Name, policy, *eps, study.WorldSize, study.NumConfigs)
+		study.Name, pol, eps, study.WorldSize, study.NumConfigs)
 	fmt.Printf("%-4s %-24s %12s %12s %10s\n", "cfg", "params", "full (s)", "predicted", "err (%)")
 	for _, cr := range sw.Configs {
 		fmt.Printf("%-4d %-24s %12.5g %12.5g %10.3f\n",
 			cr.Config, study.Describe(cr.Config), cr.Full.Wall, cr.Selective.Predicted, 100*cr.ExecErr)
 	}
-	speedup := sw.FullWall / sw.TuneWall
-	fmt.Printf("\ntuning time %.5gs vs full execution %.5gs: speedup %.2fx\n",
-		sw.TuneWall, sw.FullWall, speedup)
-	fmt.Printf("kernels executed %d, skipped %d (%.1f%% skipped)\n",
-		sw.Executed, sw.Skipped, 100*float64(sw.Skipped)/float64(sw.Executed+sw.Skipped))
-	fmt.Printf("mean log2 prediction error %.2f (eps = 2^%.0f)\n",
-		sw.MeanLogExecErr, math.Log2(*eps))
+	if sw.TuneWall > 0 {
+		fmt.Printf("\ntuning time %.5gs vs full execution %.5gs: speedup %.2fx\n",
+			sw.TuneWall, sw.FullWall, sw.FullWall/sw.TuneWall)
+	} else {
+		fmt.Printf("\ntuning time %.5gs vs full execution %.5gs\n", sw.TuneWall, sw.FullWall)
+	}
+	if total := sw.Executed + sw.Skipped; total > 0 {
+		fmt.Printf("kernels executed %d, skipped %d (%.1f%% skipped)\n",
+			sw.Executed, sw.Skipped, 100*float64(sw.Skipped)/float64(total))
+	} else {
+		fmt.Printf("kernels executed 0, skipped 0\n")
+	}
+	if eps > 0 {
+		fmt.Printf("mean log2 prediction error %.2f (eps = 2^%.0f)\n",
+			sw.MeanLogExecErr, math.Log2(eps))
+	} else {
+		fmt.Printf("mean log2 prediction error %.2f (selective execution disabled)\n",
+			sw.MeanLogExecErr)
+	}
 	fmt.Printf("selected config %d (%s); optimal %d (%s)\n",
 		sw.Selected, study.Describe(sw.Selected), sw.Optimal, study.Describe(sw.Optimal))
 }

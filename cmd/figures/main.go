@@ -1,5 +1,8 @@
 // Command figures regenerates the data series of the paper's evaluation
-// figures on the simulated substrate.
+// figures on the simulated substrate. The tuning figures (4, 5, and the
+// selection-quality table) drive every study of the figure through one
+// concurrent ExperimentSuite, so all (study, policy, eps) sweeps share a
+// bounded worker pool.
 //
 // Usage:
 //
@@ -7,6 +10,10 @@
 //	figures -fig 4 [-study capital|slate-chol] [-neps 11]
 //	figures -fig 5 [-study candmc|slate-qr] [-neps 11]
 //	figures -fig select -study capital
+//
+// Every figure accepts -workers N (bounded pool, 0 = GOMAXPROCS) and
+// -progress (per-completion lines on stderr): figure 3 parallelizes across
+// studies, the tuning figures across every (study, policy, eps) sweep.
 //
 // Figure 3 prints BSP cost trade-offs and execution-time breakdowns per
 // configuration; Figures 4 and 5 print tuning time, kernel time, and
@@ -16,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"critter/internal/autotune"
@@ -30,25 +38,26 @@ func main() {
 	seed := flag.Uint64("seed", 42, "noise seed")
 	neps := flag.Int("neps", 11, "number of tolerance points (eps = 2^0 .. 2^-(neps-1))")
 	noise := flag.Float64("noise", 0.05, "machine noise sigma")
+	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report per-sweep progress on stderr")
 	flag.Parse()
 
-	scale := autotune.DefaultScale()
-	if *scaleName == "quick" {
-		scale = autotune.QuickScale()
+	scale, err := autotune.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(2)
+	}
+	if *neps < 1 {
+		fmt.Fprintf(os.Stderr, "figures: -neps must be at least 1, got %d\n", *neps)
+		os.Exit(2)
 	}
 	machine := sim.DefaultMachine()
 	machine.NoiseSigma = *noise
 
-	studies := map[string]autotune.Study{
-		"capital":    autotune.CapitalCholesky(scale),
-		"slate-chol": autotune.SlateCholesky(scale),
-		"candmc":     autotune.CandmcQR(scale),
-		"slate-qr":   autotune.SlateQR(scale),
-	}
 	var order []string
 	switch *fig {
 	case "3":
-		order = []string{"capital", "slate-chol", "candmc", "slate-qr"}
+		order = autotune.StudyNames
 	case "4", "select":
 		order = []string{"capital", "slate-chol"}
 	case "5":
@@ -58,42 +67,62 @@ func main() {
 		os.Exit(2)
 	}
 	if *studyName != "" {
-		if _, ok := studies[*studyName]; !ok {
-			fmt.Fprintf(os.Stderr, "figures: unknown study %q\n", *studyName)
-			os.Exit(2)
-		}
 		order = []string{*studyName}
 	}
-
-	eps := autotune.DefaultEpsList()
-	if *neps < len(eps) {
-		eps = eps[:*neps]
+	sts := make([]autotune.Study, len(order))
+	for i, name := range order {
+		st, err := autotune.ParseStudy(name, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(2)
+		}
+		sts[i] = st
 	}
 
-	for _, name := range order {
-		st := studies[name]
-		switch *fig {
-		case "3":
-			f3, err := figures.RunFig3(st, machine, *seed)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
+	eps := autotune.EpsList(*neps)
+
+	if *fig == "3" {
+		var f3report func(string, int, int)
+		if *progress {
+			f3report = func(name string, done, total int) {
+				fmt.Fprintf(os.Stderr, "figures: [%d/%d] %s full-execution pass\n", done, total, name)
 			}
+		}
+		f3s, err := figures.RunFig3All(sts, machine, *seed, *workers, f3report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f3 := range f3s {
 			f3.Print(os.Stdout)
-		case "4", "5":
-			tn, err := figures.RunTuning(st, machine, *seed, eps)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
+			fmt.Println()
+		}
+		return
+	}
+
+	// Figures 4, 5, and the selection table: one suite over every study of
+	// the figure, all sweeps sharing the worker pool.
+	var report func(autotune.Progress)
+	if *progress {
+		report = func(ev autotune.Progress) {
+			status := ""
+			if ev.Err != nil {
+				status = "  FAILED"
 			}
-			tn.PrintAll(os.Stdout)
-		case "select":
-			tn, err := figures.RunTuning(st, machine, *seed, eps)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
-			}
+			fmt.Fprintf(os.Stderr, "figures: [%d/%d] %s policy %s eps 2^%.0f%s\n",
+				ev.Done, ev.Total, ev.Study, ev.Policy, math.Log2(ev.Eps), status)
+		}
+	}
+	tns, err := figures.RunTuningSuite(sts, machine, *seed, eps, *workers, report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	for _, tn := range tns {
+		if *fig == "select" {
 			tn.PrintSelection(os.Stdout)
+		} else {
+			tn.PrintAll(os.Stdout)
 		}
 		fmt.Println()
 	}

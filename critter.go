@@ -6,6 +6,13 @@
 // libraries (CAPITAL Cholesky, SLATE Cholesky and QR, CANDMC QR), and the
 // autotuning evaluation harness that regenerates Figures 3-5.
 //
+// The evaluation harness is concurrent: every (study, policy, eps) sweep of
+// the tuning grid runs in its own deterministic world seeded identically,
+// so an Experiment dispatches its sweeps — and an ExperimentSuite the
+// sweeps of all four case studies — to a bounded pool of worker goroutines
+// (Workers; default GOMAXPROCS) with shared progress reporting, producing
+// results bit-identical to a sequential run at any worker count.
+//
 // This file is the public facade: it re-exports the stable API surface from
 // the internal packages. Typical use:
 //
@@ -56,8 +63,20 @@ type (
 	Welford = stats.Welford
 	// Study is one library's tuning problem.
 	Study = autotune.Study
-	// Experiment sweeps a study over policies and tolerances.
+	// Experiment sweeps a study over policies and tolerances on a bounded
+	// worker pool (its Workers field; default GOMAXPROCS).
 	Experiment = autotune.Experiment
+	// ExperimentSuite runs several experiments through one shared worker
+	// pool with suite-wide progress reporting.
+	ExperimentSuite = autotune.ExperimentSuite
+	// Result holds every sweep of an experiment, indexed [policy][eps].
+	Result = autotune.Result
+	// SweepResult aggregates one (policy, eps) pass over a study's space.
+	SweepResult = autotune.SweepResult
+	// ConfigResult captures one configuration's reference and selective runs.
+	ConfigResult = autotune.ConfigResult
+	// Progress describes one completed sweep of a running experiment or suite.
+	Progress = autotune.Progress
 	// Scale sizes the built-in case studies.
 	Scale = autotune.Scale
 )
@@ -86,6 +105,17 @@ func DefaultScale() Scale { return autotune.DefaultScale() }
 
 // QuickScale sizes the built-in case studies for tests.
 func QuickScale() Scale { return autotune.QuickScale() }
+
+// ParsePolicy resolves a policy name as used in critter-tune flags and
+// serialized results.
+func ParsePolicy(name string) (Policy, error) { return critter.ParsePolicy(name) }
+
+// ParseScale resolves a scale name (default, quick).
+func ParseScale(name string) (Scale, error) { return autotune.ParseScale(name) }
+
+// ParseStudy resolves a case-study flag name (capital, slate-chol, candmc,
+// slate-qr) at the given scale.
+func ParseStudy(name string, s Scale) (Study, error) { return autotune.ParseStudy(name, s) }
 
 // Built-in case studies (Section V of the paper).
 var (

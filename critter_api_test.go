@@ -83,6 +83,39 @@ func TestFacadeExperiment(t *testing.T) {
 	}
 }
 
+func TestFacadeExperimentSuite(t *testing.T) {
+	mk := func(study critter.Study) critter.Experiment {
+		return critter.Experiment{
+			Study:    study,
+			EpsList:  []float64{0.25},
+			Machine:  critter.DefaultMachine(),
+			Seed:     1,
+			Policies: []critter.Policy{critter.Conditional},
+		}
+	}
+	var last critter.Progress
+	results, err := critter.ExperimentSuite{
+		Experiments: []critter.Experiment{
+			mk(critter.CapitalCholesky(critter.QuickScale())),
+			mk(critter.SlateCholesky(critter.QuickScale())),
+		},
+		Workers:  2,
+		Progress: func(ev critter.Progress) { last = ev },
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0] == nil || results[1] == nil {
+		t.Fatalf("suite results incomplete: %v", results)
+	}
+	if results[0].Study != "capital-cholesky" || results[1].Study != "slate-cholesky" {
+		t.Errorf("suite result order broken: %s, %s", results[0].Study, results[1].Study)
+	}
+	if last.Done != 2 || last.Total != 2 {
+		t.Errorf("final progress %d/%d, want 2/2", last.Done, last.Total)
+	}
+}
+
 func TestPolicyNames(t *testing.T) {
 	names := map[critter.Policy]string{
 		critter.Conditional: "conditional",

@@ -1,0 +1,3 @@
+module critter
+
+go 1.24

@@ -123,27 +123,33 @@ func TestSweepSlateCholQuickErrorShrinks(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep test")
 	}
+	// The per-sweep noise streams make single-seed error comparisons
+	// flaky, so assert the systematic properties across several seeds:
+	// tighter tolerance always executes more kernels, and the comp-time
+	// prediction error does not grow on average (Fig. 4d).
 	st := SlateCholesky(QuickScale())
-	exp := Experiment{
-		Study:    st,
-		EpsList:  []float64{0.5, 0.03125},
-		Machine:  quickMachine(),
-		Seed:     9,
-		Policies: []critter.Policy{critter.Online},
+	var errDiffSum float64
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, seed := range seeds {
+		res, err := Experiment{
+			Study:    st,
+			EpsList:  []float64{0.5, 0.03125},
+			Machine:  quickMachine(),
+			Seed:     seed,
+			Policies: []critter.Policy{critter.Online},
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		loose, tight := res.Sweeps[0][0], res.Sweeps[0][1]
+		// Tighter tolerance => more executions, at every seed.
+		if tight.Executed <= loose.Executed {
+			t.Errorf("seed %d: tight eps executed %d <= loose %d", seed, tight.Executed, loose.Executed)
+		}
+		errDiffSum += tight.MeanLogCompErr - loose.MeanLogCompErr
 	}
-	res, err := exp.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	loose, tight := res.Sweeps[0][0], res.Sweeps[0][1]
-	// Tighter tolerance => more executions.
-	if tight.Executed <= loose.Executed {
-		t.Errorf("tight eps executed %d <= loose %d", tight.Executed, loose.Executed)
-	}
-	// Comp-time prediction error decreases systematically (Fig. 4d).
-	if tight.MeanLogCompErr >= loose.MeanLogCompErr+0.5 {
-		t.Errorf("comp error did not shrink: loose 2^%.2f, tight 2^%.2f",
-			loose.MeanLogCompErr, tight.MeanLogCompErr)
+	if mean := errDiffSum / float64(len(seeds)); mean >= 0.5 {
+		t.Errorf("comp error grew with tighter tolerance: mean log2 diff %.2f over %d seeds", mean, len(seeds))
 	}
 }
 

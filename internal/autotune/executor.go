@@ -1,0 +1,166 @@
+package autotune
+
+// The concurrent sweep executor. Every (study, policy, eps) sweep is
+// independent given its own deterministic world seeded identically, so the
+// full evaluation grid — within one Experiment or across the suite of case
+// studies — is dispatched to a bounded pool of worker goroutines. Each job
+// writes into a preallocated result slot, making results bit-identical to
+// the sequential path regardless of worker count or completion order.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"critter/internal/critter"
+	"critter/internal/mpi"
+	"critter/internal/sim"
+)
+
+// Progress describes one completed sweep — successful or failed — for
+// shared progress reporting across concurrently running experiments. Done
+// always reaches Total, so consumers may treat Done == Total as end-of-run.
+type Progress struct {
+	Study  string
+	Policy critter.Policy
+	Eps    float64
+	Done   int   // sweeps completed so far under this reporter
+	Total  int   // total sweeps scheduled under this reporter
+	Err    error // non-nil when this sweep failed
+}
+
+// progressSink serializes completion callbacks from concurrent workers and
+// tracks the done/total counts. A nil callback disables reporting; the
+// counters still advance so Total is meaningful if jobs are added later.
+type progressSink struct {
+	mu    sync.Mutex
+	fn    func(Progress)
+	done  int
+	total int
+}
+
+// grow registers n more scheduled sweeps. Called while building jobs,
+// before any worker runs.
+func (ps *progressSink) grow(n int) { ps.total += n }
+
+// report records one completed sweep and invokes the callback, serialized.
+func (ps *progressSink) report(study string, pol critter.Policy, eps float64, err error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.done++
+	if ps.fn != nil {
+		ps.fn(Progress{Study: study, Policy: pol, Eps: eps, Done: ps.done, Total: ps.total, Err: err})
+	}
+}
+
+// sweepJob is one (study, policy, eps) cell of the evaluation grid. It owns
+// its result slot exclusively, so workers share no mutable state beyond the
+// progress sink.
+type sweepJob struct {
+	study   Study
+	pol     critter.Policy
+	eps     float64
+	machine sim.Machine
+	seed    uint64
+	out     *SweepResult
+	sink    *progressSink
+}
+
+// run simulates the sweep in a fresh world and stores rank 0's view.
+func (j sweepJob) run() error {
+	w := mpi.NewWorld(j.study.WorldSize, j.machine, j.seed)
+	err := w.Run(func(c *mpi.Comm) {
+		sr := runSweep(c, j.study, j.pol, j.eps)
+		if c.Rank() == 0 {
+			*j.out = sr
+		}
+	})
+	if err != nil {
+		err = fmt.Errorf("autotune: %s: policy %s eps %g: %w", j.study.Name, j.pol, j.eps, err)
+	}
+	j.sink.report(j.study.Name, j.pol, j.eps, err)
+	return err
+}
+
+// runJobs executes jobs on at most workers goroutines (0 or negative means
+// runtime.GOMAXPROCS(0)) and returns the per-job errors in job order, nil
+// entries for successes. A failed sweep never blocks the others.
+func runJobs(jobs []sweepJob, workers int) []error {
+	errs := make([]error, len(jobs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			errs[i] = j.run()
+		}
+		return errs
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = jobs[i].run()
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return errs
+}
+
+// ExperimentSuite runs several experiments — typically the four case
+// studies of the paper's evaluation — through one shared bounded worker
+// pool, so a wide study's sweeps backfill the pool while a narrow one
+// drains.
+type ExperimentSuite struct {
+	Experiments []Experiment
+
+	// Workers bounds the pool shared by every experiment; zero (or
+	// negative) means runtime.GOMAXPROCS(0). Per-experiment Workers
+	// fields are ignored.
+	Workers int
+	// Progress, when non-nil, receives every sweep completion across the
+	// whole suite with suite-wide Done/Total counts. Invocations are
+	// serialized. Per-experiment Progress callbacks are ignored, like
+	// Workers.
+	Progress func(Progress)
+}
+
+// Run executes every sweep of every experiment. The returned slice is
+// aligned with Experiments; an experiment whose sweeps all succeed gets its
+// *Result, one with any failed sweep gets nil. The error joins every
+// per-study failure (each tagged with study, policy, and eps) rather than
+// dropping them, and is nil only if all studies succeed.
+func (s ExperimentSuite) Run() ([]*Result, error) {
+	sink := &progressSink{fn: s.Progress}
+	results := make([]*Result, len(s.Experiments))
+	var all []sweepJob
+	spans := make([][2]int, len(s.Experiments))
+	for i, e := range s.Experiments {
+		start := len(all)
+		res, jobs := e.build(sink)
+		results[i] = res
+		all = append(all, jobs...)
+		spans[i] = [2]int{start, len(all)}
+	}
+	errs := runJobs(all, s.Workers)
+	var failures []error
+	for i := range s.Experiments {
+		if err := errors.Join(errs[spans[i][0]:spans[i][1]]...); err != nil {
+			results[i] = nil
+			failures = append(failures, err)
+		}
+	}
+	return results, errors.Join(failures...)
+}

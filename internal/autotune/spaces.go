@@ -2,6 +2,7 @@ package autotune
 
 import (
 	"fmt"
+	"strings"
 
 	"critter/internal/candmc"
 	"critter/internal/capital"
@@ -48,6 +49,36 @@ func DefaultScale() Scale {
 		SlateQRNB:    []int{12, 20, 24, 30, 40, 60, 120},
 		SlateQRGrids: [3][2]int{{16, 2}, {8, 4}, {4, 8}},
 	}
+}
+
+// StudyNames lists the built-in case studies' flag names in the order the
+// paper presents them.
+var StudyNames = []string{"capital", "slate-chol", "candmc", "slate-qr"}
+
+// ParseStudy resolves a case-study flag name at the given scale.
+func ParseStudy(name string, s Scale) (Study, error) {
+	switch name {
+	case "capital":
+		return CapitalCholesky(s), nil
+	case "slate-chol":
+		return SlateCholesky(s), nil
+	case "candmc":
+		return CandmcQR(s), nil
+	case "slate-qr":
+		return SlateQR(s), nil
+	}
+	return Study{}, fmt.Errorf("autotune: unknown study %q (want %s)", name, strings.Join(StudyNames, ", "))
+}
+
+// ParseScale resolves a scale name as used in command-line flags.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "default":
+		return DefaultScale(), nil
+	case "quick":
+		return QuickScale(), nil
+	}
+	return Scale{}, fmt.Errorf("autotune: unknown scale %q (want default or quick)", name)
 }
 
 // QuickScale is a miniature space for tests: 8 ranks, tiny matrices.

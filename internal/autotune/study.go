@@ -5,11 +5,16 @@
 // execution directly prior to each approximated one, prediction error
 // relative to that full execution, and tuning cost as the total (virtual)
 // time of the selective executions.
+//
+// The evaluation grid is embarrassingly parallel: each (policy, eps) sweep
+// runs in its own simulated world seeded identically, so Experiment and
+// ExperimentSuite dispatch sweeps to a bounded worker pool (see executor.go)
+// and produce results that are bit-identical at any worker count.
 package autotune
 
 import (
+	"errors"
 	"fmt"
-	"sync"
 
 	"critter/internal/critter"
 	"critter/internal/mpi"
@@ -74,6 +79,16 @@ type Experiment struct {
 	Machine  sim.Machine
 	Seed     uint64
 	Policies []critter.Policy // overrides Study.Policies when non-nil
+
+	// Workers bounds how many sweeps are simulated concurrently. Zero (or
+	// negative) means runtime.GOMAXPROCS(0); 1 recovers the sequential
+	// path. Every worker count yields bit-identical results, because each
+	// sweep runs in its own world seeded with Seed.
+	Workers int
+	// Progress, when non-nil, is invoked after each sweep completes.
+	// Invocations are serialized; the callback must not call back into
+	// the experiment.
+	Progress func(Progress)
 }
 
 // Result holds every sweep of an experiment, indexed [policy][eps].
@@ -84,8 +99,10 @@ type Result struct {
 	Sweeps   [][]SweepResult
 }
 
-// Run executes the experiment in a fresh world and returns rank 0's view.
-func (e Experiment) Run() (*Result, error) {
+// policies resolves the experiment's policy list: the explicit override,
+// else the study's own list, else (when the resolved list is empty) the
+// paper's four-policy default.
+func (e Experiment) policies() []critter.Policy {
 	policies := e.Policies
 	if policies == nil {
 		policies = e.Study.Policies
@@ -93,28 +110,47 @@ func (e Experiment) Run() (*Result, error) {
 	if len(policies) == 0 {
 		policies = []critter.Policy{critter.Conditional, critter.Local, critter.Online, critter.APriori}
 	}
+	return policies
+}
+
+// build preallocates the result grid and one sweep job per (policy, eps)
+// cell, each pointing at its result slot so workers never contend.
+func (e Experiment) build(sink *progressSink) (*Result, []sweepJob) {
+	policies := e.policies()
 	res := &Result{
 		Study:    e.Study.Name,
 		Policies: policies,
 		EpsList:  e.EpsList,
 		Sweeps:   make([][]SweepResult, len(policies)),
 	}
-	var mu sync.Mutex
-	w := mpi.NewWorld(e.Study.WorldSize, e.Machine, e.Seed)
-	err := w.Run(func(c *mpi.Comm) {
-		for pi, pol := range policies {
-			for _, eps := range e.EpsList {
-				sr := runSweep(c, e.Study, pol, eps)
-				if c.Rank() == 0 {
-					mu.Lock()
-					res.Sweeps[pi] = append(res.Sweeps[pi], sr)
-					mu.Unlock()
-				}
-			}
+	jobs := make([]sweepJob, 0, len(policies)*len(e.EpsList))
+	for pi, pol := range policies {
+		res.Sweeps[pi] = make([]SweepResult, len(e.EpsList))
+		for ei, eps := range e.EpsList {
+			jobs = append(jobs, sweepJob{
+				study:   e.Study,
+				pol:     pol,
+				eps:     eps,
+				machine: e.Machine,
+				seed:    e.Seed,
+				out:     &res.Sweeps[pi][ei],
+				sink:    sink,
+			})
 		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("autotune: %s: %w", e.Study.Name, err)
+	}
+	sink.grow(len(jobs))
+	return res, jobs
+}
+
+// Run executes every (policy, eps) sweep of the experiment, each in a fresh
+// world seeded with Seed, dispatching them to a pool of Workers goroutines.
+// Result ordering is fixed by the policy and tolerance lists, not completion
+// order, and the values are identical to a sequential (Workers: 1) run.
+func (e Experiment) Run() (*Result, error) {
+	sink := &progressSink{fn: e.Progress}
+	res, jobs := e.build(sink)
+	if err := errors.Join(runJobs(jobs, e.Workers)...); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -194,7 +230,6 @@ func runSweep(c *mpi.Comm, study Study, pol critter.Policy, eps float64) SweepRe
 // execution-time breakdowns).
 func FullOnly(study Study, machine sim.Machine, seed uint64) ([]critter.Report, error) {
 	reports := make([]critter.Report, study.NumConfigs)
-	var mu sync.Mutex
 	w := mpi.NewWorld(study.WorldSize, machine, seed)
 	err := w.Run(func(c *mpi.Comm) {
 		p, cc := critter.New(c, critter.Options{Policy: critter.Conditional, Eps: 0})
@@ -203,9 +238,7 @@ func FullOnly(study Study, machine sim.Machine, seed uint64) ([]critter.Report, 
 			study.Run(p, cc, v)
 			rep := p.Report()
 			if c.Rank() == 0 {
-				mu.Lock()
 				reports[v] = rep
-				mu.Unlock()
 			}
 		}
 	})
@@ -215,9 +248,9 @@ func FullOnly(study Study, machine sim.Machine, seed uint64) ([]critter.Report, 
 	return reports, nil
 }
 
-// DefaultEpsList is the paper's tolerance sweep: eps = 2^0 .. 2^-10.
-func DefaultEpsList() []float64 {
-	out := make([]float64, 11)
+// EpsList is the tolerance sweep eps = 2^0 .. 2^-(n-1).
+func EpsList(n int) []float64 {
+	out := make([]float64, n)
 	e := 1.0
 	for i := range out {
 		out[i] = e
@@ -225,3 +258,6 @@ func DefaultEpsList() []float64 {
 	}
 	return out
 }
+
+// DefaultEpsList is the paper's tolerance sweep: eps = 2^0 .. 2^-10.
+func DefaultEpsList() []float64 { return EpsList(11) }

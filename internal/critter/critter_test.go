@@ -1,6 +1,7 @@
 package critter
 
 import (
+	"encoding/json"
 	"math"
 	"sync"
 	"testing"
@@ -8,6 +9,34 @@ import (
 	"critter/internal/mpi"
 	"critter/internal/sim"
 )
+
+// TestPolicyJSONRoundTrip checks that policies serialize by name and decode
+// back, so critter-tune -json output can be unmarshaled into library types.
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	for _, p := range Policies {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + p.String() + `"`; string(data) != want {
+			t.Errorf("policy %s marshals to %s, want %s", p, data, want)
+		}
+		var back Policy
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != p {
+			t.Errorf("round trip: %s -> %s", p, back)
+		}
+	}
+	var bad Policy
+	if err := json.Unmarshal([]byte(`"bogus"`), &bad); err == nil {
+		t.Error("unknown policy name should fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`3`), &bad); err == nil {
+		t.Error("numeric policy should fail to decode (names only)")
+	}
+}
 
 func testMachine(noise float64) sim.Machine {
 	m := sim.DefaultMachine()

@@ -17,7 +17,10 @@
 // for nonblocking sends whose reply is consumed at Wait.
 package critter
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Kind classifies a kernel as computation or communication.
 type Kind uint8
@@ -105,6 +108,41 @@ func (p Policy) String() string {
 		return "eager"
 	}
 	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// MarshalJSON encodes the policy by name, so serialized experiment results
+// stay readable and stable if the numeric ordering ever changes.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(p.String())), nil
+}
+
+// UnmarshalJSON decodes a policy from its name, completing the round trip
+// for serialized experiment results. Per encoding/json convention, null
+// leaves the value unchanged.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		return nil
+	}
+	name, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("critter: policy must be a JSON string: %s", data)
+	}
+	parsed, err := ParsePolicy(name)
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
+// ParsePolicy resolves a policy name as used in flags and figures.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range Policies {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("critter: unknown policy %q", name)
 }
 
 // Policies lists all selective-execution policies in presentation order.

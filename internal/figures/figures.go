@@ -8,9 +8,12 @@
 package figures
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"sync"
 
 	"critter/internal/autotune"
 	"critter/internal/critter"
@@ -31,6 +34,44 @@ func RunFig3(study autotune.Study, machine sim.Machine, seed uint64) (*Fig3, err
 		return nil, err
 	}
 	return &Fig3{Study: study, Reports: reports}, nil
+}
+
+// RunFig3All executes every study's full-execution pass concurrently on a
+// bounded pool (workers; 0 = GOMAXPROCS), preserving study order. progress,
+// when non-nil, is called after each study completes, serialized.
+func RunFig3All(studies []autotune.Study, machine sim.Machine, seed uint64, workers int, progress func(study string, done, total int)) ([]*Fig3, error) {
+	out := make([]*Fig3, len(studies))
+	errs := make([]error, len(studies))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(studies) {
+		workers = len(studies)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for i := range studies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = RunFig3(studies[i], machine, seed)
+			if progress != nil {
+				mu.Lock()
+				done++
+				progress(studies[i].Name, done, len(studies))
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Print emits the three panel groups for this study: BSP communication vs
@@ -61,18 +102,44 @@ type Tuning struct {
 }
 
 // RunTuning sweeps the study over the given tolerances for every policy the
-// paper evaluates on it.
+// paper evaluates on it, through the concurrent executor at its default
+// worker count.
 func RunTuning(study autotune.Study, machine sim.Machine, seed uint64, epsList []float64) (*Tuning, error) {
-	res, err := autotune.Experiment{
-		Study:   study,
-		EpsList: epsList,
-		Machine: machine,
-		Seed:    seed,
+	tns, err := RunTuningSuite([]autotune.Study{study}, machine, seed, epsList, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return tns[0], nil
+}
+
+// RunTuningSuite sweeps several studies concurrently through one
+// ExperimentSuite: every (study, policy, eps) cell shares a single pool of
+// workers (0 = GOMAXPROCS) and, when progress is non-nil, one suite-wide
+// progress stream. The returned slice is aligned with studies; any study
+// failure aborts the whole suite with the joined per-study errors.
+func RunTuningSuite(studies []autotune.Study, machine sim.Machine, seed uint64, epsList []float64, workers int, progress func(autotune.Progress)) ([]*Tuning, error) {
+	exps := make([]autotune.Experiment, len(studies))
+	for i, st := range studies {
+		exps[i] = autotune.Experiment{
+			Study:   st,
+			EpsList: epsList,
+			Machine: machine,
+			Seed:    seed,
+		}
+	}
+	results, err := autotune.ExperimentSuite{
+		Experiments: exps,
+		Workers:     workers,
+		Progress:    progress,
 	}.Run()
 	if err != nil {
 		return nil, err
 	}
-	return &Tuning{Study: study, Res: res}, nil
+	tns := make([]*Tuning, len(studies))
+	for i, res := range results {
+		tns[i] = &Tuning{Study: studies[i], Res: res}
+	}
+	return tns, nil
 }
 
 func (t *Tuning) header(w io.Writer, what string) {

@@ -43,6 +43,37 @@ func TestFig3PrintsAllConfigs(t *testing.T) {
 	}
 }
 
+func TestRunFig3AllOrderAndProgress(t *testing.T) {
+	sts := []autotune.Study{
+		autotune.CapitalCholesky(autotune.QuickScale()),
+		autotune.SlateCholesky(autotune.QuickScale()),
+	}
+	var events []string
+	f3s, err := RunFig3All(sts, machine(), 1, 2, func(name string, done, total int) {
+		events = append(events, name)
+		if total != 2 {
+			t.Errorf("progress total %d, want 2", total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3s) != 2 || f3s[0].Study.Name != sts[0].Name || f3s[1].Study.Name != sts[1].Name {
+		t.Fatalf("results out of order: %v", f3s)
+	}
+	if len(events) != 2 {
+		t.Errorf("got %d progress events, want 2", len(events))
+	}
+	// The concurrent pass must match a direct run.
+	single, err := RunFig3(sts[0], machine(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Reports) != len(f3s[0].Reports) || single.Reports[0] != f3s[0].Reports[0] {
+		t.Error("concurrent fig-3 pass differs from direct RunFig3")
+	}
+}
+
 func TestTuningPrints(t *testing.T) {
 	st := autotune.SlateCholesky(autotune.QuickScale())
 	tn, err := RunTuning(st, machine(), 2, []float64{0.5, 0.25, 0.125, 0.0625})
