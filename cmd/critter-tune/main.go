@@ -1,17 +1,26 @@
 // Command critter-tune runs one autotuning study over a grid of
 // selective-execution policies and tolerances, printing per-configuration
 // reports: full execution time, predicted time, prediction error, and the
-// kernel execution/skip counts. Sweeps are dispatched to the concurrent
-// executor; -workers bounds the pool.
+// kernel execution/skip counts. The grid runs through a Tuner: -strategy
+// selects which configurations each sweep evaluates (exhaustive reproduces
+// the paper; random:N and halving trade coverage for budget), -timeout
+// cancels the remaining work at a deadline, and -workers bounds the
+// concurrent sweep pool.
 //
 // Usage:
 //
 //	critter-tune -study capital -policy eager -eps 0.125 [-scale quick]
 //	critter-tune -study slate-chol -policy online,apriori -eps 1,0.25,0.0625 -workers 4
 //	critter-tune -study candmc -policy online -eps 0.125 -json
+//	critter-tune -study slate-qr -strategy random:16 -timeout 30s
+//
+// -json emits a self-describing envelope: a schema version plus the seed,
+// scale, noise sigma, and strategy used, so result files can be compared
+// across runs.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,7 +42,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "noise seed")
 	noise := flag.Float64("noise", 0.05, "machine noise sigma")
 	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
-	jsonOut := flag.Bool("json", false, "emit the result grid as JSON instead of tables")
+	strategyFlag := flag.String("strategy", "exhaustive", "search strategy: "+autotune.StrategyNames)
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none); on expiry remaining sweeps are cancelled")
+	jsonOut := flag.Bool("json", false, "emit a self-describing result envelope as JSON instead of tables")
 	flag.Parse()
 
 	scale, err := autotune.ParseScale(*scaleName)
@@ -56,27 +67,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
 		os.Exit(2)
 	}
+	strategy, err := autotune.ParseStrategy(*strategyFlag, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
+		os.Exit(2)
+	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	machine := sim.DefaultMachine()
 	machine.NoiseSigma = *noise
-	res, err := autotune.Experiment{
+	res, runErr := autotune.Tuner{
 		Study:    study,
 		EpsList:  epsList,
 		Machine:  machine,
 		Seed:     *seed,
 		Policies: policies,
+		Strategy: strategy,
 		Workers:  *workers,
-	}.Run()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
-		os.Exit(1)
+	}.Run(ctx)
+	if runErr != nil {
+		// Completed sweeps are still in the grid (failed cells are
+		// zeroed); emit them before exiting nonzero, so a -timeout run
+		// keeps its partial results.
+		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", runErr)
 	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
+		if err := enc.Encode(autotune.Envelope{
+			SchemaVersion: autotune.ResultSchemaVersion,
+			Study:         study.Name,
+			Scale:         *scaleName,
+			Seed:          *seed,
+			NoiseSigma:    *noise,
+			Strategy:      strategy.Name(),
+			Result:        res,
+		}); err != nil {
 			fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
+			os.Exit(1)
+		}
+		if runErr != nil {
 			os.Exit(1)
 		}
 		return
@@ -86,8 +122,17 @@ func main() {
 			if pi > 0 || ei > 0 {
 				fmt.Println()
 			}
-			printSweep(study, pol, eps, res.Sweeps[pi][ei])
+			sw := res.Sweeps[pi][ei]
+			if len(sw.Configs) == 0 && runErr != nil {
+				fmt.Printf("study %s  policy %s  eps %g: sweep not run (failed or cancelled)\n",
+					study.Name, pol, eps)
+				continue
+			}
+			printSweep(study, pol, eps, sw)
 		}
+	}
+	if runErr != nil {
+		os.Exit(1)
 	}
 }
 
@@ -122,12 +167,12 @@ func parseEpsList(s string) ([]float64, error) {
 // printSweep emits one (policy, eps) sweep's per-configuration table and
 // summary lines.
 func printSweep(study autotune.Study, pol critter.Policy, eps float64, sw autotune.SweepResult) {
-	fmt.Printf("study %s  policy %s  eps %g  ranks %d  configs %d\n",
-		study.Name, pol, eps, study.WorldSize, study.NumConfigs)
+	fmt.Printf("study %s  policy %s  eps %g  ranks %d  configs %d  evaluated %d\n",
+		study.Name, pol, eps, study.WorldSize, study.Size(), len(sw.Configs))
 	fmt.Printf("%-4s %-24s %12s %12s %10s\n", "cfg", "params", "full (s)", "predicted", "err (%)")
 	for _, cr := range sw.Configs {
 		fmt.Printf("%-4d %-24s %12.5g %12.5g %10.3f\n",
-			cr.Config, study.Describe(cr.Config), cr.Full.Wall, cr.Selective.Predicted, 100*cr.ExecErr)
+			cr.Config, study.Label(cr.Config), cr.Full.Wall, cr.Selective.Predicted, 100*cr.ExecErr)
 	}
 	if sw.TuneWall > 0 {
 		fmt.Printf("\ntuning time %.5gs vs full execution %.5gs: speedup %.2fx\n",
@@ -149,5 +194,5 @@ func printSweep(study autotune.Study, pol critter.Policy, eps float64, sw autotu
 			sw.MeanLogExecErr)
 	}
 	fmt.Printf("selected config %d (%s); optimal %d (%s)\n",
-		sw.Selected, study.Describe(sw.Selected), sw.Optimal, study.Describe(sw.Optimal))
+		sw.Selected, study.Label(sw.Selected), sw.Optimal, study.Label(sw.Optimal))
 }

@@ -1,7 +1,7 @@
 // Command figures regenerates the data series of the paper's evaluation
 // figures on the simulated substrate. The tuning figures (4, 5, and the
 // selection-quality table) drive every study of the figure through one
-// concurrent ExperimentSuite, so all (study, policy, eps) sweeps share a
+// shared pool of Tuners, so all (study, policy, eps) sweeps share a
 // bounded worker pool.
 //
 // Usage:
@@ -13,7 +13,10 @@
 //
 // Every figure accepts -workers N (bounded pool, 0 = GOMAXPROCS) and
 // -progress (per-completion lines on stderr): figure 3 parallelizes across
-// studies, the tuning figures across every (study, policy, eps) sweep.
+// studies and configurations, the tuning figures across every (study,
+// policy, eps) sweep. The tuning figures run through Tuners, so -strategy
+// selects the search strategy (exhaustive reproduces the paper) and
+// -timeout cancels the remaining sweeps at a deadline.
 //
 // Figure 3 prints BSP cost trade-offs and execution-time breakdowns per
 // configuration; Figures 4 and 5 print tuning time, kernel time, and
@@ -21,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -40,6 +44,8 @@ func main() {
 	noise := flag.Float64("noise", 0.05, "machine noise sigma")
 	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report per-sweep progress on stderr")
+	strategyFlag := flag.String("strategy", "exhaustive", "search strategy for the tuning figures: "+autotune.StrategyNames)
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none); on expiry remaining sweeps are cancelled")
 	flag.Parse()
 
 	scale, err := autotune.ParseScale(*scaleName)
@@ -53,6 +59,17 @@ func main() {
 	}
 	machine := sim.DefaultMachine()
 	machine.NoiseSigma = *noise
+	strategy, err := autotune.ParseStrategy(*strategyFlag, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var order []string
 	switch *fig {
@@ -88,7 +105,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "figures: [%d/%d] %s full-execution pass\n", done, total, name)
 			}
 		}
-		f3s, err := figures.RunFig3All(sts, machine, *seed, *workers, f3report)
+		f3s, err := figures.RunFig3All(ctx, sts, machine, *seed, *workers, f3report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 			os.Exit(1)
@@ -113,7 +130,7 @@ func main() {
 				ev.Done, ev.Total, ev.Study, ev.Policy, math.Log2(ev.Eps), status)
 		}
 	}
-	tns, err := figures.RunTuningSuite(sts, machine, *seed, eps, *workers, report)
+	tns, err := figures.RunTuningSuite(ctx, sts, machine, *seed, eps, strategy, *workers, report)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)

@@ -6,12 +6,21 @@
 // libraries (CAPITAL Cholesky, SLATE Cholesky and QR, CANDMC QR), and the
 // autotuning evaluation harness that regenerates Figures 3-5.
 //
-// The evaluation harness is concurrent: every (study, policy, eps) sweep of
-// the tuning grid runs in its own deterministic world seeded identically,
-// so an Experiment dispatches its sweeps — and an ExperimentSuite the
-// sweeps of all four case studies — to a bounded pool of worker goroutines
-// (Workers; default GOMAXPROCS) with shared progress reporting, producing
-// results bit-identical to a sequential run at any worker count.
+// The autotuning surface is the Tuner, which composes three abstractions:
+// a Space (the study's configuration space as named dimensions), a search
+// Strategy (Exhaustive — the paper's protocol — RandomSample for budgeted
+// tuning, or SuccessiveHalving, which prunes configurations across
+// tolerance rungs using Critter's predicted times), and a context-aware
+// concurrent runner. Every (study, policy, eps) sweep of the tuning grid
+// runs in its own deterministic world seeded identically, so Tuner.Run
+// dispatches sweeps to a bounded pool of worker goroutines (Workers;
+// default GOMAXPROCS) and produces results bit-identical to a sequential
+// run at any worker count; cancelling the context stops a running grid at
+// the next configuration boundary. Tuner.Stream yields sweeps in
+// completion order as an iterator for serving and streaming consumers, and
+// RunTuners shares one pool across several studies. Experiment and
+// ExperimentSuite are thin compatibility wrappers over the Tuner,
+// preserved from the exhaustive-only API.
 //
 // This file is the public facade: it re-exports the stable API surface from
 // the internal packages. Typical use:
@@ -30,6 +39,8 @@
 package critter
 
 import (
+	"context"
+
 	"critter/internal/autotune"
 	"critter/internal/critter"
 	"critter/internal/mpi"
@@ -61,13 +72,42 @@ type (
 	Machine = sim.Machine
 	// Welford is the single-pass statistics accumulator.
 	Welford = stats.Welford
-	// Study is one library's tuning problem.
+	// Study is one library's tuning problem: a configuration Space plus an
+	// SPMD runner.
 	Study = autotune.Study
-	// Experiment sweeps a study over policies and tolerances on a bounded
-	// worker pool (its Workers field; default GOMAXPROCS).
+	// Space is a configuration space declared as named dimensions, with
+	// per-dimension decoding for search strategies.
+	Space = autotune.Space
+	// Dim is one named axis of a Space.
+	Dim = autotune.Dim
+	// Tuner sweeps a study over policies and tolerances under a search
+	// Strategy, with context cancellation (Run) and streaming results
+	// (Stream) on a bounded worker pool.
+	Tuner = autotune.Tuner
+	// Strategy plans which configurations a sweep evaluates.
+	Strategy = autotune.Strategy
+	// Plan is one sweep's stateful iteration of a Strategy.
+	Plan = autotune.Plan
+	// Round is one batch of configurations a Plan asks the runner to
+	// evaluate, at a given tolerance.
+	Round = autotune.Round
+	// Exhaustive evaluates every configuration in index order — the
+	// paper's protocol, and the default Strategy.
+	Exhaustive = autotune.Exhaustive
+	// RandomSample evaluates N deterministically sampled configurations,
+	// for budgeted tuning of large spaces.
+	RandomSample = autotune.RandomSample
+	// SuccessiveHalving prunes configurations across tolerance rungs using
+	// Critter's predicted execution times.
+	SuccessiveHalving = autotune.SuccessiveHalving
+	// Envelope is the self-describing JSON serialization of one tuning
+	// run (schema version, seed, scale, noise, strategy, result grid).
+	Envelope = autotune.Envelope
+	// Experiment sweeps a study exhaustively over policies and tolerances;
+	// a compatibility wrapper over Tuner.
 	Experiment = autotune.Experiment
 	// ExperimentSuite runs several experiments through one shared worker
-	// pool with suite-wide progress reporting.
+	// pool with suite-wide progress reporting; a wrapper over RunTuners.
 	ExperimentSuite = autotune.ExperimentSuite
 	// Result holds every sweep of an experiment, indexed [policy][eps].
 	Result = autotune.Result
@@ -116,6 +156,33 @@ func ParseScale(name string) (Scale, error) { return autotune.ParseScale(name) }
 // ParseStudy resolves a case-study flag name (capital, slate-chol, candmc,
 // slate-qr) at the given scale.
 func ParseStudy(name string, s Scale) (Study, error) { return autotune.ParseStudy(name, s) }
+
+// ParseStrategy resolves a search-strategy flag spec ("exhaustive",
+// "random:N", "halving[:ETA]"); seed seeds RandomSample's stream.
+func ParseStrategy(spec string, seed uint64) (Strategy, error) {
+	return autotune.ParseStrategy(spec, seed)
+}
+
+// RunTuners executes several tuners through one shared bounded worker pool
+// with pool-wide progress reporting; both returned slices align with
+// tuners.
+func RunTuners(ctx context.Context, tuners []Tuner, workers int, progress func(Progress)) ([]*Result, []error) {
+	return autotune.RunTuners(ctx, tuners, workers, progress)
+}
+
+// NewSpace builds a configuration space from its dimensions,
+// fastest-varying first.
+func NewSpace(dims ...Dim) Space { return autotune.NewSpace(dims...) }
+
+// IntsDim builds a space dimension whose points are integers.
+func IntsDim(name string, vals ...int) Dim { return autotune.IntsDim(name, vals...) }
+
+// GridsDim builds a space dimension whose points are 2D processor-grid
+// shapes, labeled "PRxPC".
+func GridsDim(name string, grids ...[2]int) Dim { return autotune.GridsDim(name, grids...) }
+
+// ResultSchemaVersion identifies the JSON layout of Envelope.
+const ResultSchemaVersion = autotune.ResultSchemaVersion
 
 // Built-in case studies (Section V of the paper).
 var (

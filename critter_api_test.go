@@ -3,7 +3,9 @@ package critter_test
 // Tests of the public facade: the API a downstream user sees.
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	"critter"
@@ -113,6 +115,73 @@ func TestFacadeExperimentSuite(t *testing.T) {
 	}
 	if last.Done != 2 || last.Total != 2 {
 		t.Errorf("final progress %d/%d, want 2/2", last.Done, last.Total)
+	}
+}
+
+func TestFacadeTunerStrategies(t *testing.T) {
+	base := critter.Tuner{
+		Study:    critter.CandmcQR(critter.QuickScale()),
+		EpsList:  []float64{0.25},
+		Machine:  critter.DefaultMachine(),
+		Seed:     1,
+		Policies: []critter.Policy{critter.Conditional},
+	}
+	// Exhaustive (the default) must match the legacy Experiment wrapper.
+	exhaustive, err := base.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := critter.Experiment{
+		Study:    base.Study,
+		EpsList:  base.EpsList,
+		Machine:  base.Machine,
+		Seed:     base.Seed,
+		Policies: base.Policies,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exhaustive, legacy) {
+		t.Error("Tuner default strategy differs from Experiment")
+	}
+	// A budgeted sample evaluates exactly N configurations of the space.
+	sampled := base
+	sampled.Strategy = critter.RandomSample{N: 4, Seed: 1}
+	res, err := sampled.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Sweeps[0][0].Configs); got != 4 {
+		t.Errorf("random:4 evaluated %d configs", got)
+	}
+	// The space is exported: decode the selected configuration.
+	sp := base.Study.Space
+	if sp.Size() != 15 || len(sp.Decode(res.Sweeps[0][0].Selected)) != len(sp.Dims) {
+		t.Errorf("study space not usable through the facade: size %d", sp.Size())
+	}
+}
+
+func TestFacadeTunerStream(t *testing.T) {
+	tn := critter.Tuner{
+		Study:    critter.CapitalCholesky(critter.QuickScale()),
+		EpsList:  []float64{0.5, 0.25},
+		Machine:  critter.DefaultMachine(),
+		Seed:     2,
+		Policies: []critter.Policy{critter.Conditional},
+		Workers:  2,
+	}
+	n := 0
+	for sw, err := range tn.Stream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sw.Configs) == 0 {
+			t.Errorf("streamed sweep eps %g is empty", sw.Eps)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("streamed %d sweeps, want 2", n)
 	}
 }
 

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"time"
 
 	"critter"
 	"critter/internal/blas"
@@ -54,25 +56,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// --- Part 2: autotune all 15 configurations with eager propagation. ---
+	// --- Part 2: autotune all 15 configurations with eager propagation,
+	// through the Tuner (the exhaustive strategy is the default and
+	// reproduces the paper's protocol; a context bounds the sweep).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
 	study := critter.CapitalCholesky(critter.DefaultScale())
-	res, err := critter.Experiment{
+	res, err := critter.Tuner{
 		Study:    study,
 		EpsList:  []float64{0.125},
 		Machine:  machine,
 		Seed:     11,
 		Policies: []critter.Policy{critter.Conditional, critter.Eager},
-	}.Run()
+	}.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	cond, eager := res.Sweeps[0][0], res.Sweeps[1][0]
-	fmt.Printf("\nexhaustive search over %d configurations (eps = 2^-3):\n", study.NumConfigs)
+	fmt.Printf("\nexhaustive search over %d configurations (eps = 2^-3):\n", study.Size())
 	fmt.Printf("  conditional execution: %.5fs\n", cond.TuneWall)
 	fmt.Printf("  eager propagation:     %.5fs  (%.1fx faster)\n",
 		eager.TuneWall, cond.TuneWall/eager.TuneWall)
 	fmt.Printf("  full execution:        %.5fs  (eager is %.1fx faster)\n",
 		eager.FullWall, eager.FullWall/eager.TuneWall)
 	fmt.Printf("  eager prediction error: 2^%.1f; selected config %d (%s), optimal %d\n",
-		eager.MeanLogExecErr, eager.Selected, study.Describe(eager.Selected), eager.Optimal)
+		eager.MeanLogExecErr, eager.Selected, study.Label(eager.Selected), eager.Optimal)
 }

@@ -66,6 +66,10 @@ func main() {
 	}
 
 	// Autotune block size and grid shape (the paper's Figure 5a study).
+	// This deliberately uses the legacy Experiment wrapper: pre-Tuner code
+	// keeps compiling and produces bit-identical results (see the
+	// migration notes in the README and examples/budgeted-search for the
+	// Tuner API).
 	study := critter.CandmcQR(critter.DefaultScale())
 	res, err := critter.Experiment{
 		Study:    study,
@@ -79,6 +83,6 @@ func main() {
 	}
 	sw := res.Sweeps[0][0]
 	fmt.Printf("\ntuned %d configurations: %.4fs selective vs %.4fs full (%.2fx), err 2^%.1f\n",
-		study.NumConfigs, sw.TuneWall, sw.FullWall, sw.FullWall/sw.TuneWall, sw.MeanLogExecErr)
-	fmt.Printf("best configuration: %d (%s)\n", sw.Selected, study.Describe(sw.Selected))
+		study.Size(), sw.TuneWall, sw.FullWall, sw.FullWall/sw.TuneWall, sw.MeanLogExecErr)
+	fmt.Printf("best configuration: %d (%s)\n", sw.Selected, study.Label(sw.Selected))
 }

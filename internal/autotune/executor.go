@@ -2,12 +2,15 @@ package autotune
 
 // The concurrent sweep executor. Every (study, policy, eps) sweep is
 // independent given its own deterministic world seeded identically, so the
-// full evaluation grid — within one Experiment or across the suite of case
-// studies — is dispatched to a bounded pool of worker goroutines. Each job
-// writes into a preallocated result slot, making results bit-identical to
-// the sequential path regardless of worker count or completion order.
+// full evaluation grid — within one Tuner or across several — is dispatched
+// to a bounded pool of worker goroutines. Each job writes into a
+// preallocated result slot, making results bit-identical to the sequential
+// path regardless of worker count or completion order. Cancellation is
+// cooperative: workers skip pending jobs once the context is done, and a
+// running sweep aborts its world at the next configuration boundary.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -18,16 +21,17 @@ import (
 	"critter/internal/sim"
 )
 
-// Progress describes one completed sweep — successful or failed — for
-// shared progress reporting across concurrently running experiments. Done
-// always reaches Total, so consumers may treat Done == Total as end-of-run.
+// Progress describes one completed sweep — successful, failed, or skipped
+// on cancellation — for shared progress reporting across concurrently
+// running tuners. Done always reaches Total, so consumers may treat
+// Done == Total as end-of-run.
 type Progress struct {
 	Study  string
 	Policy critter.Policy
 	Eps    float64
 	Done   int   // sweeps completed so far under this reporter
 	Total  int   // total sweeps scheduled under this reporter
-	Err    error // non-nil when this sweep failed
+	Err    error // non-nil when this sweep failed or was cancelled
 }
 
 // progressSink serializes completion callbacks from concurrent workers and
@@ -59,70 +63,99 @@ func (ps *progressSink) report(study string, pol critter.Policy, eps float64, er
 // progress sink.
 type sweepJob struct {
 	study   Study
+	strat   Strategy
 	pol     critter.Policy
 	eps     float64
 	machine sim.Machine
 	seed    uint64
 	out     *SweepResult
 	sink    *progressSink
+	// emit, when non-nil, receives the finished sweep (or a zeroed one
+	// tagged with the cell's policy and eps on failure) for streaming
+	// consumers. Called exactly once per job, after the slot is final.
+	emit func(SweepResult, error)
 }
 
-// run simulates the sweep in a fresh world and stores rank 0's view.
-func (j sweepJob) run() error {
-	w := mpi.NewWorld(j.study.WorldSize, j.machine, j.seed)
-	err := w.Run(func(c *mpi.Comm) {
-		sr := runSweep(c, j.study, j.pol, j.eps)
-		if c.Rank() == 0 {
-			*j.out = sr
-		}
-	})
+// run simulates the sweep in a fresh world and stores rank 0's view. A done
+// context skips the simulation entirely; failure or cancellation zeroes the
+// slot.
+func (j sweepJob) run(ctx context.Context) error {
+	var err error
+	if err = ctx.Err(); err == nil {
+		w := mpi.NewWorld(j.study.WorldSize, j.machine, j.seed)
+		err = w.Run(func(c *mpi.Comm) {
+			sr := runSweep(ctx, c, j.study, j.pol, j.eps, j.strat)
+			if c.Rank() == 0 {
+				*j.out = sr
+			}
+		})
+	}
 	if err != nil {
+		*j.out = SweepResult{}
 		err = fmt.Errorf("autotune: %s: policy %s eps %g: %w", j.study.Name, j.pol, j.eps, err)
 	}
 	j.sink.report(j.study.Name, j.pol, j.eps, err)
+	if j.emit != nil {
+		sw := *j.out
+		if err != nil {
+			sw.Policy, sw.Eps = j.pol, j.eps
+		}
+		j.emit(sw, err)
+	}
 	return err
 }
 
-// runJobs executes jobs on at most workers goroutines (0 or negative means
-// runtime.GOMAXPROCS(0)) and returns the per-job errors in job order, nil
-// entries for successes. A failed sweep never blocks the others.
-func runJobs(jobs []sweepJob, workers int) []error {
-	errs := make([]error, len(jobs))
+// forEachBounded runs fn(i) for every i in [0, n) on at most workers
+// goroutines (0 or negative means runtime.GOMAXPROCS(0); 1 recovers the
+// sequential path). The index channel is buffered to n, so feeding it never
+// blocks a worker. It is the one pool implementation shared by the sweep
+// executor and the full-only pass.
+func forEachBounded(n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i, j := range jobs {
-			errs[i] = j.run()
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return errs
+		return
 	}
-	idx := make(chan int)
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = jobs[i].run()
+				fn(i)
 			}
 		}()
 	}
-	for i := range jobs {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
+}
+
+// runJobs executes jobs on at most workers goroutines and returns the
+// per-job errors in job order, nil entries for successes. A failed sweep
+// never blocks the others.
+func runJobs(ctx context.Context, jobs []sweepJob, workers int) []error {
+	errs := make([]error, len(jobs))
+	forEachBounded(len(jobs), workers, func(i int) {
+		errs[i] = jobs[i].run(ctx)
+	})
 	return errs
 }
 
 // ExperimentSuite runs several experiments — typically the four case
 // studies of the paper's evaluation — through one shared bounded worker
 // pool, so a wide study's sweeps backfill the pool while a narrow one
-// drains.
+// drains. It is a compatibility wrapper over RunTuners.
 type ExperimentSuite struct {
 	Experiments []Experiment
 
@@ -143,21 +176,14 @@ type ExperimentSuite struct {
 // per-study failure (each tagged with study, policy, and eps) rather than
 // dropping them, and is nil only if all studies succeed.
 func (s ExperimentSuite) Run() ([]*Result, error) {
-	sink := &progressSink{fn: s.Progress}
-	results := make([]*Result, len(s.Experiments))
-	var all []sweepJob
-	spans := make([][2]int, len(s.Experiments))
+	tuners := make([]Tuner, len(s.Experiments))
 	for i, e := range s.Experiments {
-		start := len(all)
-		res, jobs := e.build(sink)
-		results[i] = res
-		all = append(all, jobs...)
-		spans[i] = [2]int{start, len(all)}
+		tuners[i] = e.Tuner()
 	}
-	errs := runJobs(all, s.Workers)
+	results, errs := RunTuners(context.Background(), tuners, s.Workers, s.Progress)
 	var failures []error
-	for i := range s.Experiments {
-		if err := errors.Join(errs[spans[i][0]:spans[i][1]]...); err != nil {
+	for i, err := range errs {
+		if err != nil {
 			results[i] = nil
 			failures = append(failures, err)
 		}

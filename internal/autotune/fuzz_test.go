@@ -1,0 +1,91 @@
+package autotune
+
+// Fuzzing of the flag-parsing gates: whatever the input, a parser either
+// returns an error or a fully usable value — no panics, no half-built
+// studies or strategies. Under plain `go test` these run their seed corpus
+// as ordinary unit tests.
+
+import (
+	"testing"
+)
+
+func FuzzParseStudy(f *testing.F) {
+	for _, seed := range []string{"capital", "slate-chol", "candmc", "slate-qr", "", "CAPITAL", "slate-qr ", "bogus"} {
+		f.Add(seed)
+	}
+	scale := QuickScale()
+	f.Fuzz(func(t *testing.T, name string) {
+		st, err := ParseStudy(name, scale)
+		if err != nil {
+			return
+		}
+		if st.Name == "" || st.Size() <= 0 || st.WorldSize <= 0 || st.Run == nil {
+			t.Fatalf("ParseStudy(%q) returned a half-built study: %+v", name, st)
+		}
+		if st.Space.Size() != st.Size() {
+			t.Fatalf("ParseStudy(%q): space size %d != %d", name, st.Space.Size(), st.Size())
+		}
+		for v := 0; v < st.Size(); v++ {
+			if st.Label(v) == "" {
+				t.Fatalf("ParseStudy(%q): config %d has no label", name, v)
+			}
+		}
+	})
+}
+
+func FuzzParseScale(f *testing.F) {
+	for _, seed := range []string{"default", "quick", "", "huge", "Default"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		s, err := ParseScale(name)
+		if err != nil {
+			return
+		}
+		for _, st := range []Study{CapitalCholesky(s), SlateCholesky(s), CandmcQR(s), SlateQR(s)} {
+			if st.Size() <= 0 || st.WorldSize <= 0 {
+				t.Fatalf("ParseScale(%q) built a degenerate study %s", name, st.Name)
+			}
+		}
+	})
+}
+
+func FuzzParseStrategy(f *testing.F) {
+	for _, seed := range []string{"exhaustive", "random:8", "random:0", "random:", "halving",
+		"halving:3", "halving:1", "exhaustive:1", "random:-5", "bogus", "", "random:9999999"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		strat, err := ParseStrategy(spec, 7)
+		if err != nil {
+			return
+		}
+		if strat.Name() == "" {
+			t.Fatalf("ParseStrategy(%q) returned an unnamed strategy", spec)
+		}
+		// Whatever the parsed parameters, the plan over a small space must
+		// stay inside the space and terminate.
+		sp := legacySpace(6)
+		plan := strat.Plan(sp, 0.25)
+		var prev []ConfigResult
+		for rounds := 0; ; rounds++ {
+			if rounds > 64 {
+				t.Fatalf("ParseStrategy(%q): plan did not terminate", spec)
+			}
+			round, ok := plan.Next(prev)
+			if !ok || len(round.Configs) == 0 {
+				break
+			}
+			if round.Eps < 0.25 || round.Eps > 1 {
+				t.Fatalf("ParseStrategy(%q): round eps %g outside [target, 1]", spec, round.Eps)
+			}
+			prev = prev[:0]
+			for _, v := range round.Configs {
+				if v < 0 || v >= sp.Size() {
+					t.Fatalf("ParseStrategy(%q): config %d outside [0, %d)", spec, v, sp.Size())
+				}
+				prev = append(prev, ConfigResult{Config: v})
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package autotune
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSpaceEncodeDecodeRoundTrip(t *testing.T) {
+	sp := NewSpace(IntsDim("ib", 1, 2, 4), IntsDim("nb", 4, 6, 8, 12, 24, 4, 6),
+		GridsDim("grid", [2]int{4, 2}, [2]int{2, 4}, [2]int{8, 1}))
+	if sp.Size() != 63 {
+		t.Fatalf("size = %d, want 63", sp.Size())
+	}
+	for v := 0; v < sp.Size(); v++ {
+		coords := sp.Decode(v)
+		if got := sp.Encode(coords); got != v {
+			t.Fatalf("Encode(Decode(%d)) = %d", v, got)
+		}
+		for i, d := range sp.Dims {
+			if coords[i] < 0 || coords[i] >= d.Size() {
+				t.Fatalf("config %d: coord %d out of range for %s", v, coords[i], d.Name)
+			}
+		}
+	}
+	// Dims[0] varies fastest: the first dimension's coordinate is v % 3.
+	if c := sp.Decode(5); c[0] != 2 || c[1] != 1 || c[2] != 0 {
+		t.Errorf("Decode(5) = %v, want [2 1 0]", c)
+	}
+}
+
+func TestSpaceDescribeAndValue(t *testing.T) {
+	sp := NewSpace(IntsDim("b", 2, 4, 8), GridsDim("grid", [2]int{8, 8}, [2]int{16, 4}))
+	if got := sp.Describe(4); got != "b=4 grid=16x4" {
+		t.Errorf("Describe(4) = %q", got)
+	}
+	if got := sp.Value(4, "grid"); got != "16x4" {
+		t.Errorf("Value(4, grid) = %q", got)
+	}
+	if got := sp.Value(4, "nope"); got != "" {
+		t.Errorf("Value of unknown dim = %q, want empty", got)
+	}
+	if sp.Axis("b") != 0 || sp.Axis("grid") != 1 || sp.Axis("x") != -1 {
+		t.Error("Axis lookup broken")
+	}
+}
+
+// TestBuiltinSpacesMatchLegacyEncoding pins the ported Space declarations
+// to the paper's flat config numbering: every study's Space size equals its
+// legacy NumConfigs, and the decoded dimension values match the parameters
+// the legacy Describe strings report.
+func TestBuiltinSpacesMatchLegacyEncoding(t *testing.T) {
+	for _, s := range []Scale{DefaultScale(), QuickScale()} {
+		for _, st := range []Study{CapitalCholesky(s), SlateCholesky(s), CandmcQR(s), SlateQR(s)} {
+			if st.Space.Size() != st.NumConfigs {
+				t.Errorf("%s: Space size %d != NumConfigs %d", st.Name, st.Space.Size(), st.NumConfigs)
+			}
+			for v := 0; v < st.Size(); v++ {
+				desc := st.Label(v)
+				for _, d := range st.Space.Dims {
+					val := st.Space.Value(v, d.Name)
+					if !containsParam(desc, d.Name, val) {
+						t.Fatalf("%s config %d: legacy label %q disagrees with space %s=%s",
+							st.Name, v, desc, d.Name, val)
+					}
+				}
+			}
+		}
+	}
+}
+
+// containsParam reports whether the legacy "name=value" label includes the
+// given pair as a whole token.
+func containsParam(desc, name, val string) bool {
+	token := name + "=" + val
+	for _, part := range strings.Fields(desc) {
+		if part == token {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLegacySpaceFallback(t *testing.T) {
+	st := Study{Name: "legacy", NumConfigs: 5}
+	if st.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", st.Size())
+	}
+	if got := st.Label(3); got != "config=3" {
+		t.Errorf("legacy label = %q", got)
+	}
+	st.Describe = func(v int) string { return "custom" }
+	if got := st.Label(3); got != "custom" {
+		t.Errorf("Describe override ignored: %q", got)
+	}
+	// The wrapped space still supports strategies.
+	plan := Exhaustive{}.Plan(st.space(), 0.5)
+	round, ok := plan.Next(nil)
+	if !ok || !reflect.DeepEqual(round.Configs, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("exhaustive plan over legacy space = %v", round.Configs)
+	}
+}

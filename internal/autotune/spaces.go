@@ -116,8 +116,13 @@ func CapitalCholesky(s Scale) Study {
 			C:        s.CapitalC,
 		}
 	}
+	bs := make([]int, 5)
+	for j := range bs {
+		bs[j] = b0 << j
+	}
 	return Study{
 		Name:       "capital-cholesky",
+		Space:      NewSpace(IntsDim("b", bs...), IntsDim("strat", 1, 2, 3)),
 		NumConfigs: 15,
 		WorldSize:  world,
 		ResetStats: false,
@@ -157,6 +162,7 @@ func SlateCholesky(s Scale) Study {
 	}
 	return Study{
 		Name:       "slate-cholesky",
+		Space:      NewSpace(IntsDim("la", 0, 1), IntsDim("nb", s.SlateCholNB...)),
 		NumConfigs: 2 * len(s.SlateCholNB),
 		WorldSize:  world,
 		ResetStats: true,
@@ -194,8 +200,13 @@ func CandmcQR(s Scale) Study {
 			Panel: candmc.PanelTSQR,
 		}
 	}
+	bs := make([]int, 5)
+	for j := range bs {
+		bs[j] = s.CandmcB0 << j
+	}
 	return Study{
 		Name:       "candmc-qr",
+		Space:      NewSpace(IntsDim("b", bs...), GridsDim("grid", s.CandmcGrids[:]...)),
 		NumConfigs: 15,
 		WorldSize:  world,
 		ResetStats: true,
@@ -234,8 +245,14 @@ func SlateQR(s Scale) Study {
 			PR: g[0], PC: g[1],
 		}
 	}
+	ibs := make([]int, 3)
+	for j := range ibs {
+		ibs[j] = s.SlateQRIB0 << j
+	}
 	return Study{
-		Name:       "slate-qr",
+		Name: "slate-qr",
+		Space: NewSpace(IntsDim("ib", ibs...), IntsDim("nb", s.SlateQRNB...),
+			GridsDim("grid", s.SlateQRGrids[:]...)),
 		NumConfigs: 63,
 		WorldSize:  world,
 		ResetStats: true,

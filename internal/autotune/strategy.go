@@ -1,0 +1,248 @@
+package autotune
+
+// Search strategies: the policy deciding WHICH configurations of a space a
+// sweep evaluates (and at what tolerance), as opposed to the profiler's
+// Policy, which decides HOW each configuration's kernels are selectively
+// executed. The paper's evaluation is the Exhaustive strategy; RandomSample
+// and SuccessiveHalving trade coverage for budget, in the spirit of the
+// Bayesian and transfer-learned samplers of related autotuning work.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"critter/internal/sim"
+)
+
+// Round is one batch of configurations a strategy asks the runner to
+// evaluate. Eps is the confidence tolerance for the batch's selective
+// executions; rung-based strategies loosen it on early rounds.
+type Round struct {
+	Configs []int
+	Eps     float64
+}
+
+// Plan is one sweep's iteration of a Strategy. Next returns the next round
+// given the results of the previous one (nil on the first call); returning
+// ok == false (or an empty round) ends the sweep.
+//
+// A Plan may be stateful: the runner creates one per sweep. Because every
+// rank of a sweep's simulated world drives its own identical copy of the
+// plan, Next must be deterministic in its inputs — the ConfigResults it
+// receives are collective (identical on every rank), so pruning on
+// Selective.Predicted keeps all ranks in agreement.
+type Plan interface {
+	Next(prev []ConfigResult) (Round, bool)
+}
+
+// Strategy plans which configurations a sweep evaluates. Implementations
+// must be immutable values: one Strategy is shared by every concurrent
+// sweep of a Tuner, and Plan is called once per sweep per rank.
+type Strategy interface {
+	// Name identifies the strategy in flags and serialized results.
+	Name() string
+	// Plan starts one sweep over the space at target tolerance eps.
+	Plan(sp Space, eps float64) Plan
+}
+
+// oneShot is a single-round plan.
+type oneShot struct {
+	round Round
+	done  bool
+}
+
+func (p *oneShot) Next(prev []ConfigResult) (Round, bool) {
+	if p.done {
+		return Round{}, false
+	}
+	p.done = true
+	return p.round, true
+}
+
+// Exhaustive evaluates every configuration in index order at the sweep's
+// tolerance — the paper's protocol, and the default strategy. Results are
+// bit-identical to the pre-Tuner Experiment path.
+type Exhaustive struct{}
+
+// Name implements Strategy.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Plan implements Strategy.
+func (Exhaustive) Plan(sp Space, eps float64) Plan {
+	configs := make([]int, sp.Size())
+	for i := range configs {
+		configs[i] = i
+	}
+	return &oneShot{round: Round{Configs: configs, Eps: eps}}
+}
+
+// RandomSample evaluates N configurations drawn uniformly without
+// replacement from a deterministic stream seeded with Seed, for budgeted
+// tuning of spaces too large to sweep. N >= the space size degenerates to
+// Exhaustive order-shuffled.
+type RandomSample struct {
+	N    int
+	Seed uint64
+}
+
+// Name implements Strategy.
+func (r RandomSample) Name() string { return fmt.Sprintf("random:%d", r.N) }
+
+// Plan implements Strategy. The sample depends only on (Seed, space size),
+// so every (policy, eps) cell of a tuning grid evaluates the same subset
+// and stays comparable across cells.
+func (r RandomSample) Plan(sp Space, eps float64) Plan {
+	size := sp.Size()
+	n := r.N
+	if n <= 0 || n > size {
+		n = size
+	}
+	// Partial Fisher-Yates: the first n entries of a seeded permutation.
+	perm := make([]int, size)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng := sim.NewRNG(sim.Mix(r.Seed, uint64(size), 0x73616d706c65)) // "sample"
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(size-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return &oneShot{round: Round{Configs: perm[:n], Eps: eps}}
+}
+
+// SuccessiveHalving prunes the space across tolerance rungs: the first rung
+// evaluates every configuration at a loosened tolerance (cheap, because
+// loose tolerances skip most kernels), then each following rung keeps the
+// best 1/Eta of the survivors by Critter's predicted execution time and
+// halves the tolerance, until the final rung reaches the sweep's target
+// tolerance with at most Eta configurations left. Total evaluations are at
+// most Eta/(Eta-1) times the space size, but almost all of them run at
+// loose tolerances.
+type SuccessiveHalving struct {
+	// Eta is the pruning factor per rung; 0 means 2.
+	Eta int
+}
+
+// Name implements Strategy.
+func (sh SuccessiveHalving) Name() string {
+	if e := sh.eta(); e != 2 {
+		return fmt.Sprintf("halving:%d", e)
+	}
+	return "halving"
+}
+
+func (sh SuccessiveHalving) eta() int {
+	if sh.Eta < 2 {
+		return 2
+	}
+	return sh.Eta
+}
+
+// Plan implements Strategy.
+func (sh SuccessiveHalving) Plan(sp Space, eps float64) Plan {
+	eta := sh.eta()
+	// Rung survivor counts: size, ceil(size/eta), ... down to <= eta.
+	rungs := 1
+	for n := sp.Size(); n > eta; n = (n + eta - 1) / eta {
+		rungs++
+	}
+	configs := make([]int, sp.Size())
+	for i := range configs {
+		configs[i] = i
+	}
+	return &halvingPlan{eta: eta, rungs: rungs, targetEps: eps, survivors: configs}
+}
+
+// halvingPlan is the per-sweep state of SuccessiveHalving.
+type halvingPlan struct {
+	eta       int
+	rungs     int
+	rung      int
+	targetEps float64
+	survivors []int
+}
+
+func (p *halvingPlan) Next(prev []ConfigResult) (Round, bool) {
+	if p.rung > 0 {
+		if p.rung >= p.rungs {
+			return Round{}, false
+		}
+		p.survivors = prune(prev, (len(p.survivors)+p.eta-1)/p.eta)
+	}
+	eps := p.targetEps
+	if eps > 0 {
+		// Loosen by 2x per remaining rung, capped at the maximal
+		// meaningful tolerance of 1.
+		if eps = eps * float64(int64(1)<<uint(p.rungs-1-p.rung)); eps > 1 {
+			eps = 1
+		}
+	}
+	p.rung++
+	return Round{Configs: p.survivors, Eps: eps}, true
+}
+
+// prune keeps the n results with the smallest predicted execution times,
+// breaking ties by configuration index, and returns their config indices in
+// ascending order (deterministic on every rank).
+func prune(results []ConfigResult, n int) []int {
+	sorted := make([]ConfigResult, len(results))
+	copy(sorted, results)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0; j-- {
+			a, b := sorted[j-1], sorted[j]
+			if a.Selective.Predicted < b.Selective.Predicted ||
+				(a.Selective.Predicted == b.Selective.Predicted && a.Config <= b.Config) {
+				break
+			}
+			sorted[j-1], sorted[j] = b, a
+		}
+	}
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	keep := make([]int, n)
+	for i := 0; i < n; i++ {
+		keep[i] = sorted[i].Config
+	}
+	// Ascending config order keeps the evaluation order stable.
+	for i := 1; i < len(keep); i++ {
+		for j := i; j > 0 && keep[j-1] > keep[j]; j-- {
+			keep[j-1], keep[j] = keep[j], keep[j-1]
+		}
+	}
+	return keep
+}
+
+// StrategyNames documents the flag grammar accepted by ParseStrategy.
+const StrategyNames = "exhaustive, random:N, halving[:ETA]"
+
+// ParseStrategy resolves a strategy flag spec: "exhaustive", "random:N"
+// (N sampled configurations, seeded with seed), or "halving" with an
+// optional ":ETA" pruning factor.
+func ParseStrategy(spec string, seed uint64) (Strategy, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	switch name {
+	case "exhaustive":
+		if hasArg {
+			return nil, fmt.Errorf("autotune: strategy exhaustive takes no argument, got %q", spec)
+		}
+		return Exhaustive{}, nil
+	case "random":
+		n, err := strconv.Atoi(arg)
+		if !hasArg || err != nil || n < 1 {
+			return nil, fmt.Errorf("autotune: strategy random wants a positive sample count, e.g. random:8, got %q", spec)
+		}
+		return RandomSample{N: n, Seed: seed}, nil
+	case "halving":
+		if !hasArg {
+			return SuccessiveHalving{}, nil
+		}
+		eta, err := strconv.Atoi(arg)
+		if err != nil || eta < 2 {
+			return nil, fmt.Errorf("autotune: strategy halving wants an integer pruning factor >= 2, got %q", spec)
+		}
+		return SuccessiveHalving{Eta: eta}, nil
+	}
+	return nil, fmt.Errorf("autotune: unknown strategy %q (want %s)", spec, StrategyNames)
+}

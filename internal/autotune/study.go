@@ -1,25 +1,30 @@
-// Package autotune implements the paper's evaluation harness: exhaustive
-// search over a library's configuration space, executed either fully (the
-// reference) or selectively under one of Critter's policies at a confidence
-// tolerance epsilon, with the measurement protocol of Section VI-A — a full
-// execution directly prior to each approximated one, prediction error
-// relative to that full execution, and tuning cost as the total (virtual)
-// time of the selective executions.
+// Package autotune implements the paper's evaluation harness: search over a
+// library's configuration space, executed either fully (the reference) or
+// selectively under one of Critter's policies at a confidence tolerance
+// epsilon, with the measurement protocol of Section VI-A — a full execution
+// directly prior to each approximated one, prediction error relative to
+// that full execution, and tuning cost as the total (virtual) time of the
+// selective executions.
 //
-// The evaluation grid is embarrassingly parallel: each (policy, eps) sweep
-// runs in its own simulated world seeded identically, so Experiment and
-// ExperimentSuite dispatch sweeps to a bounded worker pool (see executor.go)
-// and produce results that are bit-identical at any worker count.
+// The central type is the Tuner (tuner.go), which composes a Study (a
+// configuration Space plus an SPMD runner), a search Strategy (Exhaustive —
+// the paper's protocol — RandomSample, or SuccessiveHalving), and a
+// context-aware concurrent executor. The evaluation grid is embarrassingly
+// parallel: each (policy, eps) sweep runs in its own simulated world seeded
+// identically, so the Tuner dispatches sweeps to a bounded worker pool (see
+// executor.go) and produces results that are bit-identical at any worker
+// count. Experiment and ExperimentSuite are compatibility wrappers over the
+// Tuner, preserved from the exhaustive-only API.
 package autotune
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"critter/internal/critter"
 	"critter/internal/mpi"
 	"critter/internal/sim"
-	"critter/internal/stats"
 )
 
 // Study is one library's tuning problem: a configuration space and an SPMD
@@ -27,7 +32,12 @@ import (
 type Study struct {
 	// Name identifies the study (e.g. "capital-cholesky").
 	Name string
-	// NumConfigs is the size of the exhaustive search space.
+	// Space declares the configuration space as named dimensions, letting
+	// strategies decode indices and move along axes. When empty, the
+	// legacy NumConfigs/Describe pair below defines the space.
+	Space Space
+	// NumConfigs is the size of the search space. Legacy: superseded by
+	// Space; consulted only when Space is empty.
 	NumConfigs int
 	// WorldSize is the rank count the study's grids require.
 	WorldSize int
@@ -38,41 +48,75 @@ type Study struct {
 	ResetStats bool
 	// Run executes configuration v on the calling rank.
 	Run func(p *critter.Profiler, cc *critter.Comm, v int)
-	// Describe labels configuration v (for reports).
+	// Describe labels configuration v for reports. Legacy: when nil, the
+	// Space's "name=value" join is used instead.
 	Describe func(v int) string
 	// Policies lists the selective-execution policies the paper evaluates
 	// for this study (eager only for the bulk-synchronous CAPITAL).
 	Policies []critter.Policy
 }
 
+// space resolves the study's configuration space, wrapping the legacy
+// NumConfigs count when no dimensions are declared.
+func (s Study) space() Space {
+	if s.Space.Size() > 0 {
+		return s.Space
+	}
+	return legacySpace(s.NumConfigs)
+}
+
+// Size returns the number of configurations in the study's space.
+func (s Study) Size() int {
+	if n := s.Space.Size(); n > 0 {
+		return n
+	}
+	return s.NumConfigs
+}
+
+// Label renders configuration v for reports: the study's own Describe
+// formatter when set, else the space's "name=value" join.
+func (s Study) Label(v int) string {
+	if s.Describe != nil {
+		return s.Describe(v)
+	}
+	return s.space().Describe(v)
+}
+
 // ConfigResult captures one configuration's reference and selective runs.
 type ConfigResult struct {
 	Config    int
+	Eps       float64 // tolerance this evaluation ran at (rung strategies loosen early rounds)
 	Full      critter.Report
 	Selective critter.Report
 	ExecErr   float64 // |predicted - full| / full execution time
 	CompErr   float64 // same for critical-path computation time
 }
 
-// SweepResult aggregates one (policy, epsilon) pass over the whole space.
+// SweepResult aggregates one (policy, epsilon) pass over the configurations
+// the sweep's strategy evaluated (the whole space under Exhaustive).
 type SweepResult struct {
 	Policy  critter.Policy
 	Eps     float64
 	Configs []ConfigResult
 
 	TuneWall       float64 // total selective-execution virtual time (the tuning cost)
-	FullWall       float64 // total full-execution virtual time (the red line)
+	FullWall       float64 // total full-execution virtual time over the evaluated configs (the red line)
 	KernelTime     float64 // sum over configs of max-rank executed-kernel time
 	CompKernelTime float64 // same, computation kernels only
-	MeanLogExecErr float64 // log2 geometric-mean prediction error
+	// MeanLogExecErr/MeanLogCompErr are the log2 geometric-mean prediction
+	// errors over every evaluation performed; under a rung strategy that
+	// includes the loosened-tolerance rungs, not just target-eps runs.
+	MeanLogExecErr float64
 	MeanLogCompErr float64
-	Selected       int // argmin of predicted times (Critter's choice)
-	Optimal        int // argmin of full execution times
+	Selected       int // argmin of predicted times (Critter's choice); rung strategies compare each config's last evaluation
+	Optimal        int // argmin of full execution times among evaluated configs
 	Executed       int64
 	Skipped        int64
 }
 
-// Experiment drives sweeps of one study over policies and tolerances.
+// Experiment drives exhaustive sweeps of one study over policies and
+// tolerances. It is a compatibility wrapper over Tuner with the Exhaustive
+// strategy and no cancellation; new code should use Tuner directly.
 type Experiment struct {
 	Study    Study
 	EpsList  []float64
@@ -91,161 +135,85 @@ type Experiment struct {
 	Progress func(Progress)
 }
 
-// Result holds every sweep of an experiment, indexed [policy][eps].
+// Result holds every sweep of a tuning run, indexed [policy][eps].
 type Result struct {
 	Study    string
+	Strategy string
 	Policies []critter.Policy
 	EpsList  []float64
 	Sweeps   [][]SweepResult
 }
 
-// policies resolves the experiment's policy list: the explicit override,
-// else the study's own list, else (when the resolved list is empty) the
-// paper's four-policy default.
-func (e Experiment) policies() []critter.Policy {
-	policies := e.Policies
-	if policies == nil {
-		policies = e.Study.Policies
-	}
-	if len(policies) == 0 {
-		policies = []critter.Policy{critter.Conditional, critter.Local, critter.Online, critter.APriori}
-	}
-	return policies
-}
-
-// build preallocates the result grid and one sweep job per (policy, eps)
-// cell, each pointing at its result slot so workers never contend.
-func (e Experiment) build(sink *progressSink) (*Result, []sweepJob) {
-	policies := e.policies()
-	res := &Result{
-		Study:    e.Study.Name,
-		Policies: policies,
+// Tuner converts the experiment to the equivalent exhaustive Tuner.
+func (e Experiment) Tuner() Tuner {
+	return Tuner{
+		Study:    e.Study,
 		EpsList:  e.EpsList,
-		Sweeps:   make([][]SweepResult, len(policies)),
+		Machine:  e.Machine,
+		Seed:     e.Seed,
+		Policies: e.Policies,
+		Strategy: Exhaustive{},
+		Workers:  e.Workers,
+		Progress: e.Progress,
 	}
-	jobs := make([]sweepJob, 0, len(policies)*len(e.EpsList))
-	for pi, pol := range policies {
-		res.Sweeps[pi] = make([]SweepResult, len(e.EpsList))
-		for ei, eps := range e.EpsList {
-			jobs = append(jobs, sweepJob{
-				study:   e.Study,
-				pol:     pol,
-				eps:     eps,
-				machine: e.Machine,
-				seed:    e.Seed,
-				out:     &res.Sweeps[pi][ei],
-				sink:    sink,
-			})
-		}
-	}
-	sink.grow(len(jobs))
-	return res, jobs
 }
 
-// Run executes every (policy, eps) sweep of the experiment, each in a fresh
-// world seeded with Seed, dispatching them to a pool of Workers goroutines.
-// Result ordering is fixed by the policy and tolerance lists, not completion
-// order, and the values are identical to a sequential (Workers: 1) run.
+// Run executes every (policy, eps) sweep of the experiment through the
+// Tuner. The result grid is always returned — cells of failed sweeps are
+// zeroed — alongside the joined per-sweep errors (nil when every sweep
+// succeeded), matching ExperimentSuite's partial-result semantics.
 func (e Experiment) Run() (*Result, error) {
-	sink := &progressSink{fn: e.Progress}
-	res, jobs := e.build(sink)
-	if err := errors.Join(runJobs(jobs, e.Workers)...); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-// runSweep performs one (policy, eps) exhaustive pass: per configuration, a
-// full reference execution followed by the approximated one (Section VI-A).
-// Collective; the returned value is meaningful on every rank.
-func runSweep(c *mpi.Comm, study Study, pol critter.Policy, eps float64) SweepResult {
-	ref, refComm := critter.New(c, critter.Options{Policy: critter.Conditional, Eps: 0})
-	tuned, tunedComm := critter.New(c, critter.Options{Policy: pol, Eps: eps})
-	sr := SweepResult{Policy: pol, Eps: eps}
-	var execErrs, compErrs []float64
-	bestPred, bestFull := -1.0, -1.0
-	for v := 0; v < study.NumConfigs; v++ {
-		// Full execution directly prior to the approximated one.
-		ref.StartConfig(true)
-		study.Run(ref, refComm, v)
-		full := ref.Report()
-
-		var sel critter.Report
-		if pol == critter.APriori && eps > 0 {
-			// Offline iteration: full execution under online propagation
-			// to obtain critical-path execution counts (and samples).
-			tuned.StartConfig(study.ResetStats)
-			tuned.SetPolicy(critter.Online)
-			tuned.SetEps(0)
-			study.Run(tuned, tunedComm, v)
-			offline := tuned.Report()
-			freqs := tuned.GlobalPathFreqs()
-			sr.TuneWall += offline.Wall
-			sr.KernelTime += offline.KernelTime
-			sr.CompKernelTime += offline.CompKernel
-			tuned.SetAprioriFreq(freqs)
-			tuned.SetPolicy(critter.APriori)
-			tuned.SetEps(eps)
-			tuned.StartConfig(false) // keep the offline pass's samples
-			study.Run(tuned, tunedComm, v)
-			sel = tuned.Report()
-		} else {
-			tuned.StartConfig(study.ResetStats)
-			study.Run(tuned, tunedComm, v)
-			sel = tuned.Report()
-		}
-
-		cr := ConfigResult{
-			Config:    v,
-			Full:      full,
-			Selective: sel,
-			ExecErr:   stats.RelErr(sel.Predicted, full.Wall),
-			CompErr:   stats.RelErr(sel.PredictedComp, full.PredictedComp),
-		}
-		sr.Configs = append(sr.Configs, cr)
-		sr.TuneWall += sel.Wall
-		sr.FullWall += full.Wall
-		sr.KernelTime += sel.KernelTime
-		sr.CompKernelTime += sel.CompKernel
-		sr.Executed += sel.Executed
-		sr.Skipped += sel.Skipped
-		execErrs = append(execErrs, cr.ExecErr)
-		compErrs = append(compErrs, cr.CompErr)
-		if bestPred < 0 || sel.Predicted < bestPred {
-			bestPred = sel.Predicted
-			sr.Selected = v
-		}
-		if bestFull < 0 || full.Wall < bestFull {
-			bestFull = full.Wall
-			sr.Optimal = v
-		}
-	}
-	sr.MeanLogExecErr = stats.MeanLogErr(execErrs)
-	sr.MeanLogCompErr = stats.MeanLogErr(compErrs)
-	return sr
+	return e.Tuner().Run(context.Background())
 }
 
 // FullOnly runs every configuration once with full execution, returning the
 // per-configuration reports (the data of Figure 3: BSP cost trade-offs and
-// execution-time breakdowns).
+// execution-time breakdowns). It parallelizes across configurations on the
+// default worker pool; see FullOnlyCtx for bounded pools and cancellation.
 func FullOnly(study Study, machine sim.Machine, seed uint64) ([]critter.Report, error) {
-	reports := make([]critter.Report, study.NumConfigs)
+	return FullOnlyCtx(context.Background(), study, machine, seed, 0)
+}
+
+// FullOnlyCtx is FullOnly with caller-controlled cancellation and pool
+// size (workers; 0 or negative means runtime.GOMAXPROCS(0)). Each
+// configuration runs in its own world seeded with seed, so results are
+// bit-identical at any worker count. The report slice is always returned
+// with failed or skipped configurations zeroed, alongside the joined
+// errors.
+func FullOnlyCtx(ctx context.Context, study Study, machine sim.Machine, seed uint64, workers int) ([]critter.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := study.Size()
+	reports := make([]critter.Report, n)
+	errs := make([]error, n)
+	forEachBounded(n, workers, func(v int) {
+		errs[v] = fullOnlyConfig(ctx, study, machine, seed, v, &reports[v])
+	})
+	return reports, errors.Join(errs...)
+}
+
+// fullOnlyConfig runs one configuration with full execution in its own
+// world, storing rank 0's report.
+func fullOnlyConfig(ctx context.Context, study Study, machine sim.Machine, seed uint64, v int, out *critter.Report) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("autotune: %s: config %d: %w", study.Name, v, err)
+	}
 	w := mpi.NewWorld(study.WorldSize, machine, seed)
 	err := w.Run(func(c *mpi.Comm) {
 		p, cc := critter.New(c, critter.Options{Policy: critter.Conditional, Eps: 0})
-		for v := 0; v < study.NumConfigs; v++ {
-			p.StartConfig(true)
-			study.Run(p, cc, v)
-			rep := p.Report()
-			if c.Rank() == 0 {
-				reports[v] = rep
-			}
+		p.StartConfig(true)
+		study.Run(p, cc, v)
+		rep := p.Report()
+		if c.Rank() == 0 {
+			*out = rep
 		}
 	})
 	if err != nil {
-		return nil, fmt.Errorf("autotune: %s: %w", study.Name, err)
+		*out = critter.Report{}
+		return fmt.Errorf("autotune: %s: config %d: %w", study.Name, v, err)
 	}
-	return reports, nil
+	return nil
 }
 
 // EpsList is the tolerance sweep eps = 2^0 .. 2^-(n-1).

@@ -1,0 +1,58 @@
+package critter
+
+// Fuzzing of the Policy name/JSON round trips backing flag parsing and
+// serialized experiment results. Under plain `go test` these run their seed
+// corpus as ordinary unit tests.
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPolicyNullDecode pins the encoding/json convention: null leaves the
+// value unchanged.
+func TestPolicyNullDecode(t *testing.T) {
+	p := Online
+	if err := json.Unmarshal([]byte("null"), &p); err != nil || p != Online {
+		t.Errorf("null decode: %v, policy %s", err, p)
+	}
+}
+
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{"conditional", "local", "online", "apriori", "eager", "", "Eager", "policy(7)"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			return
+		}
+		if p.String() != name {
+			t.Fatalf("ParsePolicy(%q) = %s, not a fixed point", name, p)
+		}
+	})
+}
+
+func FuzzPolicyUnmarshalJSON(f *testing.F) {
+	f.Add([]byte(`"online"`))
+	f.Add([]byte(`"eager"`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`42`))
+	f.Add([]byte(`"bogus"`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Policy
+		if err := p.UnmarshalJSON(data); err != nil {
+			return
+		}
+		// Anything accepted must re-encode losslessly.
+		out, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Policy
+		if err := json.Unmarshal(out, &back); err != nil || back != p {
+			t.Fatalf("accepted %q but cannot round trip %s: %v", data, p, err)
+		}
+	})
+}

@@ -8,12 +8,11 @@
 package figures
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
-	"runtime"
-	"sync"
 
 	"critter/internal/autotune"
 	"critter/internal/critter"
@@ -36,38 +35,25 @@ func RunFig3(study autotune.Study, machine sim.Machine, seed uint64) (*Fig3, err
 	return &Fig3{Study: study, Reports: reports}, nil
 }
 
-// RunFig3All executes every study's full-execution pass concurrently on a
-// bounded pool (workers; 0 = GOMAXPROCS), preserving study order. progress,
-// when non-nil, is called after each study completes, serialized.
-func RunFig3All(studies []autotune.Study, machine sim.Machine, seed uint64, workers int, progress func(study string, done, total int)) ([]*Fig3, error) {
+// RunFig3All executes every study's full-execution pass in study order,
+// each parallelized across its configurations on a bounded pool (workers;
+// 0 = GOMAXPROCS) — the single pool bound covers the whole run, with no
+// nested pools. Cancelling ctx skips the remaining configurations and
+// studies. progress, when non-nil, is called after each study completes.
+func RunFig3All(ctx context.Context, studies []autotune.Study, machine sim.Machine, seed uint64, workers int, progress func(study string, done, total int)) ([]*Fig3, error) {
 	out := make([]*Fig3, len(studies))
 	errs := make([]error, len(studies))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	for i, st := range studies {
+		reports, err := autotune.FullOnlyCtx(ctx, st, machine, seed, workers)
+		if err != nil {
+			errs[i] = err
+		} else {
+			out[i] = &Fig3{Study: st, Reports: reports}
+		}
+		if progress != nil {
+			progress(st.Name, i+1, len(studies))
+		}
 	}
-	if workers > len(studies) {
-		workers = len(studies)
-	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	done := 0
-	for i := range studies {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = RunFig3(studies[i], machine, seed)
-			if progress != nil {
-				mu.Lock()
-				done++
-				progress(studies[i].Name, done, len(studies))
-				mu.Unlock()
-			}
-		}(i)
-	}
-	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
@@ -78,20 +64,20 @@ func RunFig3All(studies []autotune.Study, machine sim.Machine, seed uint64, work
 // synchronization (panels a-d), BSP computation vs synchronization (e-h),
 // and the execution/computation/communication time breakdown (i-l).
 func (f *Fig3) Print(w io.Writer) {
-	fmt.Fprintf(w, "# Figure 3: %s (%d configurations)\n", f.Study.Name, f.Study.NumConfigs)
+	fmt.Fprintf(w, "# Figure 3: %s (%d configurations)\n", f.Study.Name, f.Study.Size())
 	fmt.Fprintf(w, "# BSP cost trade-offs; crit = critical path, vol = volumetric average\n")
 	fmt.Fprintf(w, "%-4s %-22s %14s %14s %12s %12s %14s %14s\n",
 		"cfg", "params", "comm-crit", "comm-vol", "sync-crit", "sync-vol", "comp-crit", "comp-vol")
 	for v, r := range f.Reports {
 		fmt.Fprintf(w, "%-4d %-22s %14.4g %14.4g %12.4g %12.4g %14.4g %14.4g\n",
-			v, f.Study.Describe(v),
+			v, f.Study.Label(v),
 			r.BSPCommCrit, r.BSPCommVol, r.BSPSyncCrit, r.BSPSyncVol, r.BSPCompCrit, r.BSPCompVol)
 	}
 	fmt.Fprintf(w, "# execution time breakdown (seconds, virtual)\n")
 	fmt.Fprintf(w, "%-4s %-22s %12s %12s %12s\n", "cfg", "params", "execution", "computation", "communication")
 	for v, r := range f.Reports {
 		fmt.Fprintf(w, "%-4d %-22s %12.5g %12.5g %12.5g\n",
-			v, f.Study.Describe(v), r.Wall, r.PredictedComp, r.PredictedComm)
+			v, f.Study.Label(v), r.Wall, r.PredictedComp, r.PredictedComm)
 	}
 }
 
@@ -103,36 +89,36 @@ type Tuning struct {
 
 // RunTuning sweeps the study over the given tolerances for every policy the
 // paper evaluates on it, through the concurrent executor at its default
-// worker count.
+// worker count and the exhaustive strategy.
 func RunTuning(study autotune.Study, machine sim.Machine, seed uint64, epsList []float64) (*Tuning, error) {
-	tns, err := RunTuningSuite([]autotune.Study{study}, machine, seed, epsList, 0, nil)
+	tns, err := RunTuningSuite(context.Background(), []autotune.Study{study}, machine, seed, epsList, autotune.Exhaustive{}, 0, nil)
 	if err != nil {
 		return nil, err
 	}
 	return tns[0], nil
 }
 
-// RunTuningSuite sweeps several studies concurrently through one
-// ExperimentSuite: every (study, policy, eps) cell shares a single pool of
+// RunTuningSuite sweeps several studies concurrently through one shared
+// pool of Tuners: every (study, policy, eps) cell shares a single pool of
 // workers (0 = GOMAXPROCS) and, when progress is non-nil, one suite-wide
-// progress stream. The returned slice is aligned with studies; any study
-// failure aborts the whole suite with the joined per-study errors.
-func RunTuningSuite(studies []autotune.Study, machine sim.Machine, seed uint64, epsList []float64, workers int, progress func(autotune.Progress)) ([]*Tuning, error) {
-	exps := make([]autotune.Experiment, len(studies))
+// progress stream. strategy selects which configurations each sweep
+// evaluates (nil = exhaustive, the paper's protocol); cancelling ctx stops
+// the remaining sweeps promptly. The returned slice is aligned with
+// studies; any study failure aborts the whole suite with the joined
+// per-study errors.
+func RunTuningSuite(ctx context.Context, studies []autotune.Study, machine sim.Machine, seed uint64, epsList []float64, strategy autotune.Strategy, workers int, progress func(autotune.Progress)) ([]*Tuning, error) {
+	tuners := make([]autotune.Tuner, len(studies))
 	for i, st := range studies {
-		exps[i] = autotune.Experiment{
-			Study:   st,
-			EpsList: epsList,
-			Machine: machine,
-			Seed:    seed,
+		tuners[i] = autotune.Tuner{
+			Study:    st,
+			EpsList:  epsList,
+			Machine:  machine,
+			Seed:     seed,
+			Strategy: strategy,
 		}
 	}
-	results, err := autotune.ExperimentSuite{
-		Experiments: exps,
-		Workers:     workers,
-		Progress:    progress,
-	}.Run()
-	if err != nil {
+	results, errs := autotune.RunTuners(ctx, tuners, workers, progress)
+	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 	tns := make([]*Tuning, len(studies))
@@ -240,10 +226,24 @@ func (t *Tuning) PrintPerConfigErr(w io.Writer, pol critter.Policy, epsIdx []int
 		fmt.Fprintf(w, " eps=2^%-7.0f", math.Log2(t.Res.EpsList[ei]))
 	}
 	fmt.Fprintln(w)
-	for v := 0; v < t.Study.NumConfigs; v++ {
-		fmt.Fprintf(w, "%-4d %-22s", v, t.Study.Describe(v))
-		for _, ei := range epsIdx {
-			cr := t.Res.Sweeps[pi][ei].Configs[v]
+	// Index by configuration: under a subset strategy a sweep's Configs
+	// cover only the evaluated part of the space (the last evaluation
+	// wins when a rung strategy revisits a configuration).
+	byConfig := make([]map[int]autotune.ConfigResult, len(epsIdx))
+	for i, ei := range epsIdx {
+		byConfig[i] = make(map[int]autotune.ConfigResult)
+		for _, cr := range t.Res.Sweeps[pi][ei].Configs {
+			byConfig[i][cr.Config] = cr
+		}
+	}
+	for v := 0; v < t.Study.Size(); v++ {
+		fmt.Fprintf(w, "%-4d %-22s", v, t.Study.Label(v))
+		for i := range epsIdx {
+			cr, ok := byConfig[i][v]
+			if !ok {
+				fmt.Fprintf(w, " %11s", "-")
+				continue
+			}
 			e := cr.ExecErr
 			if comp {
 				e = cr.CompErr

@@ -2,6 +2,7 @@ package figures
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestRunFig3AllOrderAndProgress(t *testing.T) {
 		autotune.SlateCholesky(autotune.QuickScale()),
 	}
 	var events []string
-	f3s, err := RunFig3All(sts, machine(), 1, 2, func(name string, done, total int) {
+	f3s, err := RunFig3All(context.Background(), sts, machine(), 1, 2, func(name string, done, total int) {
 		events = append(events, name)
 		if total != 2 {
 			t.Errorf("progress total %d, want 2", total)
