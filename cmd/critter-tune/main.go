@@ -13,10 +13,18 @@
 //	critter-tune -study slate-chol -policy online,apriori -eps 1,0.25,0.0625 -workers 4
 //	critter-tune -study candmc -policy online -eps 0.125 -json
 //	critter-tune -study slate-qr -strategy random:16 -timeout 30s
+//	critter-tune -study candmc -eps 0.125 -extrapolate -profile-out prof.json
+//	critter-tune -study candmc -eps 0.125 -extrapolate -profile-in prof.json
+//
+// -profile-out persists everything the run's selective executions learned
+// (kernel models, fitted family extrapolators, path frequencies, merged
+// across every sweep) as a versioned JSON profile; -profile-in warm-starts
+// a run from such a profile, skipping kernels the prior already predicts.
 //
 // -json emits a self-describing envelope: a schema version plus the seed,
-// scale, noise sigma, and strategy used, so result files can be compared
-// across runs.
+// scale, noise sigma, and strategy used — and, since schema version 3,
+// summaries of the imported and per-sweep exported profiles — so result
+// files can be compared across runs.
 package main
 
 import (
@@ -45,6 +53,9 @@ func main() {
 	strategyFlag := flag.String("strategy", "exhaustive", "search strategy: "+autotune.StrategyNames)
 	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none); on expiry remaining sweeps are cancelled")
 	jsonOut := flag.Bool("json", false, "emit a self-describing result envelope as JSON instead of tables")
+	extrapolate := flag.Bool("extrapolate", false, "enable family-model extrapolation in the selective profilers")
+	profileIn := flag.String("profile-in", "", "warm-start every sweep from this kernel profile (JSON, from -profile-out)")
+	profileOut := flag.String("profile-out", "", "write the run's merged learned kernel profile to this file")
 	flag.Parse()
 
 	scale, err := autotune.ParseScale(*scaleName)
@@ -73,6 +84,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	var prior *critter.Profile
+	if *profileIn != "" {
+		data, err := os.ReadFile(*profileIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
+			os.Exit(2)
+		}
+		if prior, err = critter.DecodeProfile(data); err != nil {
+			fmt.Fprintf(os.Stderr, "critter-tune: %s: %v\n", *profileIn, err)
+			os.Exit(2)
+		}
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -82,13 +106,15 @@ func main() {
 	machine := sim.DefaultMachine()
 	machine.NoiseSigma = *noise
 	res, runErr := autotune.Tuner{
-		Study:    study,
-		EpsList:  epsList,
-		Machine:  machine,
-		Seed:     *seed,
-		Policies: policies,
-		Strategy: strategy,
-		Workers:  *workers,
+		Study:       study,
+		EpsList:     epsList,
+		Machine:     machine,
+		Seed:        *seed,
+		Policies:    policies,
+		Strategy:    strategy,
+		Prior:       prior,
+		Extrapolate: *extrapolate,
+		Workers:     *workers,
 	}.Run(ctx)
 	if runErr != nil {
 		// Completed sweeps are still in the grid (failed cells are
@@ -97,43 +123,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", runErr)
 	}
 
+	// Emit the run's output first — even on failure, completed sweeps and
+	// the envelope must reach stdout before any exit — then persist the
+	// profile artifact.
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(autotune.Envelope{
+		env := autotune.Envelope{
 			SchemaVersion: autotune.ResultSchemaVersion,
 			Study:         study.Name,
 			Scale:         *scaleName,
 			Seed:          *seed,
 			NoiseSigma:    *noise,
 			Strategy:      strategy.Name(),
+			Profiles:      autotune.ProfileSummaries(res),
 			Result:        res,
-		}); err != nil {
+		}
+		if prior != nil {
+			sum := autotune.Summarize("", 0, prior)
+			env.Prior = &sum
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(env); err != nil {
 			fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
 			os.Exit(1)
 		}
-		if runErr != nil {
-			os.Exit(1)
-		}
-		return
-	}
-	for pi, pol := range res.Policies {
-		for ei, eps := range res.EpsList {
-			if pi > 0 || ei > 0 {
-				fmt.Println()
+	} else {
+		for pi, pol := range res.Policies {
+			for ei, eps := range res.EpsList {
+				if pi > 0 || ei > 0 {
+					fmt.Println()
+				}
+				sw := res.Sweeps[pi][ei]
+				if len(sw.Configs) == 0 && runErr != nil {
+					fmt.Printf("study %s  policy %s  eps %g: sweep not run (failed or cancelled)\n",
+						study.Name, pol, eps)
+					continue
+				}
+				printSweep(study, pol, eps, sw)
 			}
-			sw := res.Sweeps[pi][ei]
-			if len(sw.Configs) == 0 && runErr != nil {
-				fmt.Printf("study %s  policy %s  eps %g: sweep not run (failed or cancelled)\n",
-					study.Name, pol, eps)
-				continue
-			}
-			printSweep(study, pol, eps, sw)
 		}
 	}
+	exit := 0
 	if runErr != nil {
-		os.Exit(1)
+		exit = 1
 	}
+	if *profileOut != "" {
+		if err := autotune.WriteProfileFile(*profileOut, autotune.MergedProfile(res)); err != nil {
+			fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
 }
 
 // parsePolicies resolves a comma-separated policy list.

@@ -16,7 +16,9 @@
 // studies and configurations, the tuning figures across every (study,
 // policy, eps) sweep. The tuning figures run through Tuners, so -strategy
 // selects the search strategy (exhaustive reproduces the paper) and
-// -timeout cancels the remaining sweeps at a deadline.
+// -timeout cancels the remaining sweeps at a deadline. -profile-in
+// warm-starts every tuning sweep from a previously exported kernel profile
+// and -profile-out persists the suite's merged learned profile.
 //
 // Figure 3 prints BSP cost trade-offs and execution-time breakdowns per
 // configuration; Figures 4 and 5 print tuning time, kernel time, and
@@ -31,6 +33,7 @@ import (
 	"os"
 
 	"critter/internal/autotune"
+	"critter/internal/critter"
 	"critter/internal/figures"
 	"critter/internal/sim"
 )
@@ -46,6 +49,8 @@ func main() {
 	progress := flag.Bool("progress", false, "report per-sweep progress on stderr")
 	strategyFlag := flag.String("strategy", "exhaustive", "search strategy for the tuning figures: "+autotune.StrategyNames)
 	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none); on expiry remaining sweeps are cancelled")
+	profileIn := flag.String("profile-in", "", "warm-start the tuning figures' sweeps from this kernel profile (JSON)")
+	profileOut := flag.String("profile-out", "", "write the tuning figures' merged learned kernel profile to this file")
 	flag.Parse()
 
 	scale, err := autotune.ParseScale(*scaleName)
@@ -63,6 +68,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(2)
+	}
+	if *profileIn != "" {
+		data, err := os.ReadFile(*profileIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(2)
+		}
+		prior, err := critter.DecodeProfile(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", *profileIn, err)
+			os.Exit(2)
+		}
+		// The decorator threads the prior into every sweep the suite plans.
+		strategy = autotune.WarmStart(strategy, prior)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -142,5 +161,15 @@ func main() {
 			tn.PrintAll(os.Stdout)
 		}
 		fmt.Println()
+	}
+	if *profileOut != "" {
+		var merged *critter.Profile
+		for _, tn := range tns {
+			merged = critter.MergeProfiles(merged, autotune.MergedProfile(tn.Res))
+		}
+		if err := autotune.WriteProfileFile(*profileOut, merged); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

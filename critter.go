@@ -22,6 +22,14 @@
 // ExperimentSuite are thin compatibility wrappers over the Tuner,
 // preserved from the exhaustive-only API.
 //
+// The prediction layer behind the skip decisions is the pluggable
+// Estimator (NewCIMeanEstimator is the paper's machinery and the default),
+// and what a run learns is a persistent artifact: every sweep exports a
+// versioned, JSON-serializable Profile that warm-starts later runs via
+// Options.Prior, Tuner.Prior, or the WarmStart strategy decorator —
+// including across problem scales, where the fitted family extrapolators
+// keep predicting after the per-signature models stop matching.
+//
 // This file is the public facade: it re-exports the stable API surface from
 // the internal packages. Typical use:
 //
@@ -60,7 +68,7 @@ type (
 	RawComm = mpi.Comm
 	// World is the simulated machine: ranks, mailboxes, virtual clocks.
 	World = mpi.World
-	// Options configures a Profiler (policy, tolerance).
+	// Options configures a Profiler (policy, tolerance, estimator, prior).
 	Options = critter.Options
 	// Policy selects the selective-execution method.
 	Policy = critter.Policy
@@ -68,6 +76,31 @@ type (
 	Key = critter.Key
 	// Report summarizes one configuration run.
 	Report = critter.Report
+	// Estimator is the pluggable prediction layer: it models kernel
+	// durations (Observe/Estimate), decides predictability, and may
+	// extrapolate across input sizes. The built-in CI-mean estimator
+	// (NewCIMeanEstimator) is the paper's statistical machinery.
+	Estimator = critter.Estimator
+	// ProfileCarrier is the optional Estimator interface for exporting
+	// learned state to a Profile and warm-starting from a prior.
+	ProfileCarrier = critter.ProfileCarrier
+	// WelfordCarrier is the optional Estimator interface the eager
+	// policy's cross-rank statistics aggregation requires.
+	WelfordCarrier = critter.WelfordCarrier
+	// Profile is the versioned, JSON-serializable artifact of what a
+	// profiling run learned: kernel models, fitted family extrapolators,
+	// and critical-path frequencies. Export with Profiler.ExportProfile or
+	// from SweepResult.Profile; feed back via Options.Prior, Tuner.Prior,
+	// or the WarmStart strategy decorator.
+	Profile = critter.Profile
+	// KernelModel is one kernel signature's serialized duration model.
+	KernelModel = critter.KernelModel
+	// Family is one routine family's serialized extrapolation model.
+	Family = critter.Family
+	// FamilyPoint is one (flops, mean) sample of a family model.
+	FamilyPoint = critter.FamilyPoint
+	// ProfileSummary condenses a profile for result envelopes.
+	ProfileSummary = autotune.ProfileSummary
 	// Machine is the alpha-beta-gamma cost model.
 	Machine = sim.Machine
 	// Welford is the single-pass statistics accumulator.
@@ -139,6 +172,36 @@ func DefaultMachine() Machine { return sim.DefaultMachine() }
 // NewProfiler creates a rank's profiler and wraps its world communicator;
 // collective over the world.
 func NewProfiler(c *RawComm, o Options) (*Profiler, *Comm) { return critter.New(c, o) }
+
+// NewCIMeanEstimator returns the built-in confidence-interval estimator
+// (the paper's machinery); extrapolate enables family-model line fitting.
+// This is what a nil Options.Estimator resolves to.
+func NewCIMeanEstimator(extrapolate bool) Estimator {
+	return critter.NewCIMeanEstimator(extrapolate)
+}
+
+// WarmStart decorates a search strategy with a warm-start prior: every
+// sweep the decorated strategy plans seeds its selective profiler from the
+// prior profile. A nil inner means Exhaustive; a nil prior returns inner
+// unchanged.
+func WarmStart(inner Strategy, prior *Profile) Strategy {
+	return autotune.WarmStart(inner, prior)
+}
+
+// MergeProfiles merges b into a copy of a (either may be nil): kernel
+// models pool their samples, family points union, path frequencies take
+// the max.
+func MergeProfiles(a, b *Profile) *Profile { return critter.MergeProfiles(a, b) }
+
+// DecodeProfile parses and validates a serialized kernel profile.
+func DecodeProfile(data []byte) (*Profile, error) { return critter.DecodeProfile(data) }
+
+// MergedProfile merges every sweep's exported profile of a result grid
+// into one artifact (nil when nothing was exported).
+func MergedProfile(res *Result) *Profile { return autotune.MergedProfile(res) }
+
+// ProfileSchemaVersion identifies the JSON layout of Profile.
+const ProfileSchemaVersion = critter.ProfileSchemaVersion
 
 // DefaultScale sizes the built-in case studies for a laptop.
 func DefaultScale() Scale { return autotune.DefaultScale() }

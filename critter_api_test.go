@@ -185,6 +185,60 @@ func TestFacadeTunerStream(t *testing.T) {
 	}
 }
 
+// TestFacadeEstimatorAndProfiles exercises the pluggable-estimator surface
+// end to end through the public API: a custom estimator threads into the
+// Tuner, sweep results export profiles, and a warm start from an exported
+// profile reduces executed kernels.
+func TestFacadeEstimatorAndProfiles(t *testing.T) {
+	base := critter.Tuner{
+		Study:       critter.CandmcQR(critter.QuickScale()),
+		EpsList:     []float64{0.125},
+		Machine:     critter.DefaultMachine(),
+		Seed:        5,
+		Policies:    []critter.Policy{critter.Online},
+		Extrapolate: true,
+	}
+	cold, err := base.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := cold.Sweeps[0][0].Profile
+	if prof == nil || len(prof.Kernels) == 0 {
+		t.Fatal("no profile exported through the facade")
+	}
+	// Round trip the artifact the way a user persisting it would.
+	data, err := prof.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := critter.DecodeProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := base
+	warm.Strategy = critter.WarmStart(critter.Exhaustive{}, prior)
+	res, err := warm.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sweeps[0][0].Executed >= cold.Sweeps[0][0].Executed {
+		t.Errorf("warm start executed %d kernels, cold %d", res.Sweeps[0][0].Executed, cold.Sweeps[0][0].Executed)
+	}
+	if critter.MergedProfile(res) == nil {
+		t.Error("MergedProfile empty through the facade")
+	}
+	// The default estimator is constructible explicitly.
+	expl := base
+	expl.NewEstimator = func() critter.Estimator { return critter.NewCIMeanEstimator(true) }
+	res2, err := expl.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, res2) {
+		t.Error("explicit NewCIMeanEstimator differs from the default estimator")
+	}
+}
+
 func TestPolicyNames(t *testing.T) {
 	names := map[critter.Policy]string{
 		critter.Conditional: "conditional",

@@ -68,8 +68,13 @@ type sweepJob struct {
 	eps     float64
 	machine sim.Machine
 	seed    uint64
-	out     *SweepResult
-	sink    *progressSink
+	// prior warm-starts the selective profiler; extrapolate and newEst
+	// configure its estimator (see the matching Tuner fields).
+	prior       *critter.Profile
+	extrapolate bool
+	newEst      func() critter.Estimator
+	out         *SweepResult
+	sink        *progressSink
 	// emit, when non-nil, receives the finished sweep (or a zeroed one
 	// tagged with the cell's policy and eps on failure) for streaming
 	// consumers. Called exactly once per job, after the slot is final.
@@ -84,7 +89,7 @@ func (j sweepJob) run(ctx context.Context) error {
 	if err = ctx.Err(); err == nil {
 		w := mpi.NewWorld(j.study.WorldSize, j.machine, j.seed)
 		err = w.Run(func(c *mpi.Comm) {
-			sr := runSweep(ctx, c, j.study, j.pol, j.eps, j.strat)
+			sr := runSweep(ctx, c, j)
 			if c.Rank() == 0 {
 				*j.out = sr
 			}

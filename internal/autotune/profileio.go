@@ -1,0 +1,24 @@
+package autotune
+
+import (
+	"fmt"
+	"os"
+
+	"critter/internal/critter"
+)
+
+// WriteProfileFile persists a kernel profile as indented JSON with a
+// trailing newline — the on-disk convention shared by the CLIs'
+// -profile-out flags (and read back by -profile-in via
+// critter.DecodeProfile). A nil profile is an error: the run exported
+// nothing to persist.
+func WriteProfileFile(path string, p *critter.Profile) error {
+	if p == nil {
+		return fmt.Errorf("autotune: no profile to write: every sweep failed or exported nothing")
+	}
+	data, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

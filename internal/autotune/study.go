@@ -112,6 +112,14 @@ type SweepResult struct {
 	Optimal        int // argmin of full execution times among evaluated configs
 	Executed       int64
 	Skipped        int64
+
+	// Profile is what the sweep's selective executions learned, merged
+	// across every configuration and rank: kernel models, fitted family
+	// extrapolators, and critical-path frequencies. Feed it back through
+	// Tuner.Prior (or WarmStart) to warm-start a later run. Excluded from
+	// JSON — the Envelope carries per-sweep summaries instead; persist the
+	// full artifact with Profile.Encode (critter-tune -profile-out).
+	Profile *critter.Profile `json:"-"`
 }
 
 // Experiment drives exhaustive sweeps of one study over policies and

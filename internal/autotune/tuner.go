@@ -35,6 +35,23 @@ type Tuner struct {
 	// Exhaustive, which reproduces the paper's protocol bit-for-bit.
 	Strategy Strategy
 
+	// Prior warm-starts every sweep's selective profiler from a profile
+	// exported by an earlier run (SweepResult.Profile, critter-tune
+	// -profile-out): kernels predicted by the prior skip sooner, shrinking
+	// the executed-kernel count. The reference (full) executions are never
+	// warm-started. Takes precedence over a WarmStart strategy's prior.
+	Prior *critter.Profile
+	// Extrapolate enables family-model extrapolation (Section VIII's
+	// line-fitting extension) in the default estimator of every sweep's
+	// selective profiler. This is how warm starts transfer across scales:
+	// a prior's fitted families predict kernel sizes never seen before.
+	Extrapolate bool
+	// NewEstimator, when non-nil, supplies the prediction model for each
+	// sweep's selective profiler, overriding the default CI-mean estimator
+	// (and Extrapolate). Called once per rank per sweep; every call must
+	// return a fresh, independent instance.
+	NewEstimator func() critter.Estimator
+
 	// Workers bounds how many sweeps are simulated concurrently. Zero (or
 	// negative) means runtime.GOMAXPROCS(0); 1 recovers the sequential
 	// path. Every worker count yields bit-identical results, because each
@@ -85,14 +102,17 @@ func (t Tuner) build(sink *progressSink) (*Result, []sweepJob) {
 		res.Sweeps[pi] = make([]SweepResult, len(t.EpsList))
 		for ei, eps := range t.EpsList {
 			jobs = append(jobs, sweepJob{
-				study:   t.Study,
-				strat:   strat,
-				pol:     pol,
-				eps:     eps,
-				machine: t.Machine,
-				seed:    t.Seed,
-				out:     &res.Sweeps[pi][ei],
-				sink:    sink,
+				study:       t.Study,
+				strat:       strat,
+				pol:         pol,
+				eps:         eps,
+				machine:     t.Machine,
+				seed:        t.Seed,
+				prior:       t.Prior,
+				extrapolate: t.Extrapolate,
+				newEst:      t.NewEstimator,
+				out:         &res.Sweeps[pi][ei],
+				sink:        sink,
 			})
 		}
 	}
@@ -208,9 +228,26 @@ func (c cancelError) Unwrap() error { return c.err }
 // prior to the approximated one (the measurement protocol of Section VI-A).
 // Collective; the returned value is meaningful on every rank. Cancellation
 // is checked at every configuration boundary and aborts the whole world.
-func runSweep(ctx context.Context, c *mpi.Comm, study Study, pol critter.Policy, eps float64, strat Strategy) SweepResult {
+func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
+	study, pol, eps, strat := j.study, j.pol, j.eps, j.strat
+	// The tuner's explicit prior wins; otherwise a WarmStart strategy may
+	// carry one. The reference profiler always starts cold: it is the
+	// ground truth the selective run is judged against.
+	prior := j.prior
+	if pp, ok := strat.(priorCarrier); ok && prior == nil {
+		prior = pp.Prior()
+	}
+	opts := critter.Options{
+		Policy:      pol,
+		Eps:         eps,
+		Extrapolate: j.extrapolate,
+		Prior:       prior,
+	}
+	if j.newEst != nil {
+		opts.Estimator = j.newEst()
+	}
 	ref, refComm := critter.New(c, critter.Options{Policy: critter.Conditional, Eps: 0})
-	tuned, tunedComm := critter.New(c, critter.Options{Policy: pol, Eps: eps})
+	tuned, tunedComm := critter.New(c, opts)
 	sr := SweepResult{Policy: pol, Eps: eps}
 	var execErrs, compErrs []float64
 	plan := strat.Plan(study.space(), eps)
@@ -280,6 +317,11 @@ func runSweep(ctx context.Context, c *mpi.Comm, study Study, pol critter.Policy,
 	sr.Selected, sr.Optimal = argmins(sr.Configs)
 	sr.MeanLogExecErr = stats.MeanLogErr(execErrs)
 	sr.MeanLogCompErr = stats.MeanLogErr(compErrs)
+	// Export what the sweep learned, pooled across ranks (collective).
+	// The archive inside the profiler spans every configuration, so
+	// studies that reset statistics between configurations still yield
+	// their full union.
+	sr.Profile = tuned.GlobalProfile()
 	return sr
 }
 
@@ -314,12 +356,86 @@ func argmins(configs []ConfigResult) (selected, optimal int) {
 
 // ResultSchemaVersion identifies the JSON layout emitted by critter-tune
 // -json (an Envelope). Version 1 was the bare Result grid; version 2 added
-// the self-describing envelope.
-const ResultSchemaVersion = 2
+// the self-describing envelope; version 3 added per-sweep profile
+// summaries (and the optional prior summary).
+const ResultSchemaVersion = 3
+
+// ProfileSummary condenses one sweep's exported kernel profile for the
+// envelope: enough to see how much a run learned (and compare warm against
+// cold runs) without embedding the full artifact, which critter-tune
+// -profile-out persists separately.
+type ProfileSummary struct {
+	// Policy identifies the sweep the profile came from; empty for
+	// summaries not tied to one sweep (a -profile-in prior), whose Eps is
+	// then meaningless. Eps is always emitted: 0 is a legitimate sweep
+	// tolerance (selective execution disabled).
+	Policy       string  `json:"policy,omitempty"`
+	Eps          float64 `json:"eps"`
+	Estimator    string  `json:"estimator,omitempty"`
+	Kernels      int     `json:"kernels"`
+	Samples      int64   `json:"samples"`
+	Families     int     `json:"families"`
+	FamilyPoints int     `json:"familyPoints"`
+	PathKeys     int     `json:"pathKeys"`
+}
+
+// Summarize condenses a profile for an envelope. pol and eps identify the
+// sweep and are supplied by the caller; empty/zero mean "not tied to one
+// sweep" (the prior summary).
+func Summarize(pol string, eps float64, p *critter.Profile) ProfileSummary {
+	s := ProfileSummary{Policy: pol, Eps: eps}
+	if p == nil {
+		return s
+	}
+	s.Estimator = p.Estimator
+	s.Kernels = len(p.Kernels)
+	s.Samples = p.Samples()
+	s.Families = len(p.Families)
+	s.FamilyPoints = p.FamilyPointCount()
+	s.PathKeys = len(p.PathFreqs)
+	return s
+}
+
+// ProfileSummaries condenses every sweep profile of a result grid, in grid
+// order (policy-major), skipping sweeps that exported nothing (failed or
+// cancelled cells).
+func ProfileSummaries(res *Result) []ProfileSummary {
+	if res == nil {
+		return nil
+	}
+	var out []ProfileSummary
+	for pi, pol := range res.Policies {
+		for ei, eps := range res.EpsList {
+			if sw := res.Sweeps[pi][ei]; sw.Profile != nil {
+				out = append(out, Summarize(pol.String(), eps, sw.Profile))
+			}
+		}
+	}
+	return out
+}
+
+// MergedProfile merges every sweep's exported profile of a result grid into
+// one artifact — the run's total learned state, suitable for -profile-out
+// and later warm starts. Returns nil when no sweep exported anything.
+func MergedProfile(res *Result) *critter.Profile {
+	if res == nil {
+		return nil
+	}
+	var merged *critter.Profile
+	for pi := range res.Sweeps {
+		for ei := range res.Sweeps[pi] {
+			if p := res.Sweeps[pi][ei].Profile; p != nil {
+				merged = critter.MergeProfiles(merged, p)
+			}
+		}
+	}
+	return merged
+}
 
 // Envelope is the self-describing serialization of one tuning run: the
 // schema version plus every input needed to reproduce or compare the run
-// (seed, scale, noise sigma, search strategy) around the result grid.
+// (seed, scale, noise sigma, search strategy) around the result grid, and
+// summaries of the kernel profiles the run imported and exported.
 type Envelope struct {
 	SchemaVersion int     `json:"schemaVersion"`
 	Study         string  `json:"study"`
@@ -327,5 +443,10 @@ type Envelope struct {
 	Seed          uint64  `json:"seed"`
 	NoiseSigma    float64 `json:"noiseSigma"`
 	Strategy      string  `json:"strategy"`
-	Result        *Result `json:"result"`
+	// Prior summarizes the warm-start profile the run was seeded with
+	// (-profile-in), nil for cold runs.
+	Prior *ProfileSummary `json:"prior,omitempty"`
+	// Profiles summarizes each sweep's exported profile in grid order.
+	Profiles []ProfileSummary `json:"profiles,omitempty"`
+	Result   *Result          `json:"result"`
 }

@@ -411,7 +411,11 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 		Seed:          4,
 		NoiseSigma:    0.05,
 		Strategy:      "random:1",
+		Profiles:      ProfileSummaries(res),
 		Result:        res,
+	}
+	if len(env.Profiles) != 1 || env.Profiles[0].Kernels == 0 {
+		t.Fatalf("profile summaries missing or empty: %+v", env.Profiles)
 	}
 	data, err := json.Marshal(env)
 	if err != nil {
@@ -421,10 +425,27 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(env, back) {
-		t.Fatalf("round trip changed the envelope:\n%+v\n%+v", env, back)
+	// The full per-sweep profiles are deliberately not serialized (the
+	// envelope carries summaries; -profile-out persists the artifact), so
+	// the round trip is checked against a profile-stripped copy.
+	want := env
+	stripped := *res
+	stripped.Sweeps = make([][]SweepResult, len(res.Sweeps))
+	for pi := range res.Sweeps {
+		stripped.Sweeps[pi] = make([]SweepResult, len(res.Sweeps[pi]))
+		for ei, sw := range res.Sweeps[pi] {
+			sw.Profile = nil
+			stripped.Sweeps[pi][ei] = sw
+		}
 	}
-	if back.SchemaVersion != 2 || back.Result.Strategy != "random:1" {
+	want.Result = &stripped
+	if !reflect.DeepEqual(want, back) {
+		t.Fatalf("round trip changed the envelope:\n%+v\n%+v", want, back)
+	}
+	if back.SchemaVersion != 3 || back.Result.Strategy != "random:1" {
 		t.Errorf("envelope not self-describing: version %d strategy %q", back.SchemaVersion, back.Result.Strategy)
+	}
+	if len(back.Profiles) != 1 || back.Profiles[0].Kernels != env.Profiles[0].Kernels {
+		t.Errorf("profile summaries lost in round trip: %+v", back.Profiles)
 	}
 }

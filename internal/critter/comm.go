@@ -75,9 +75,9 @@ func (c *Comm) collective(op string, words int, bspWords float64, run func() flo
 	var dt float64
 	if g.Exec {
 		dt = run()
-		p.record(key, ks, dt)
+		p.record(key, ks, 0, dt)
 	} else {
-		dt = ks.Mean()
+		dt = p.est.Estimate(key)
 		p.skipped++
 	}
 	p.accountComm(key, dt, bspWords)
@@ -173,9 +173,9 @@ func (c *Comm) Send(dest, tag int, buf []float64) {
 	var dt float64
 	if exec {
 		dt = c.user.Send(dest, tag, buf)
-		p.record(key, ks, dt)
+		p.record(key, ks, 0, dt)
 	} else {
-		dt = ks.Mean()
+		dt = p.est.Estimate(key)
 		p.skipped++
 	}
 	p.accountComm(key, dt, float64(len(buf)))
@@ -200,9 +200,9 @@ func (c *Comm) Recv(src, tag int, buf []float64) {
 	var dt float64
 	if exec {
 		dt = c.user.Recv(src, tag, buf)
-		p.record(key, ks, dt)
+		p.record(key, ks, 0, dt)
 	} else {
-		dt = ks.Mean()
+		dt = p.est.Estimate(key)
 		p.skipped++
 	}
 	p.accountComm(key, dt, float64(len(buf)))
@@ -238,17 +238,17 @@ func (c *Comm) Sendrecv(dest, sendTag int, sendBuf []float64, src, recvTag int, 
 	var dt float64
 	if execSend {
 		dt = c.user.Send(dest, sendTag, sendBuf)
-		p.record(sendKey, sks, dt)
+		p.record(sendKey, sks, 0, dt)
 	} else {
-		dt = sks.Mean()
+		dt = p.est.Estimate(sendKey)
 		p.skipped++
 	}
 	p.accountComm(sendKey, dt, float64(len(sendBuf)))
 	if execRecv {
 		dt = c.user.Recv(src, recvTag, recvBuf)
-		p.record(recvKey, rks, dt)
+		p.record(recvKey, rks, 0, dt)
 	} else {
-		dt = rks.Mean()
+		dt = p.est.Estimate(recvKey)
 		p.skipped++
 	}
 	p.accountComm(recvKey, dt, float64(len(recvBuf)))
@@ -283,9 +283,9 @@ func (c *Comm) Isend(dest, tag int, buf []float64) *Request {
 		t0 := c.user.Clock()
 		r.user = c.user.Isend(dest, tag, buf)
 		dt = c.user.Clock() - t0
-		p.record(key, ks, dt)
+		p.record(key, ks, 0, dt)
 	} else {
-		dt = ks.Mean()
+		dt = p.est.Estimate(key)
 		p.skipped++
 	}
 	p.accountComm(key, dt, float64(len(buf)))

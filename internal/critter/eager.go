@@ -16,13 +16,23 @@ func (p *Profiler) aggregateEager(c *Comm) {
 	if !c.chOK || c.user.Size() <= 1 {
 		return
 	}
+	// Cross-rank pooling needs direct access to the Welford accumulators;
+	// estimators that do not carry them opt out of eager propagation.
+	wc, ok := p.est.(WelfordCarrier)
+	if !ok {
+		return
+	}
 	ch := c.ch
 	nominate := make(map[Key]stats.Welford)
 	for key, ks := range p.k {
-		if ks.propagated || ks.Count() < 2 {
+		if ks.propagated {
 			continue
 		}
-		if !ks.Predictable(p.opts.Eps, 1) {
+		w, has := wc.ExportWelford(key)
+		if !has || w.Count() < 2 {
+			continue
+		}
+		if !w.Predictable(p.opts.Eps, 1) {
 			continue
 		}
 		if ks.coverage.Contains(ch) {
@@ -31,7 +41,7 @@ func (p *Profiler) aggregateEager(c *Comm) {
 		if _, ok := channel.Combine(ks.coverage, ch); !ok {
 			continue
 		}
-		nominate[key] = ks.Welford
+		nominate[key] = w
 	}
 	merged := c.internal.AllreduceAny(nominate, mergeNominations).(map[Key]stats.Welford)
 	if len(merged) == 0 {
@@ -39,7 +49,7 @@ func (p *Profiler) aggregateEager(c *Comm) {
 	}
 	for key, w := range merged {
 		ks := p.kernel(key)
-		ks.Welford = w
+		wc.ImportWelford(key, w)
 		if cov, ok := channel.Combine(ks.coverage, ch); ok {
 			ks.coverage = cov
 		}

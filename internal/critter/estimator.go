@@ -1,0 +1,290 @@
+package critter
+
+import (
+	"sort"
+
+	"critter/internal/stats"
+)
+
+// The pluggable prediction layer. The paper's statistical machinery — the
+// per-signature confidence-interval models that drive shouldExecute and the
+// family extrapolator of Section VIII — lives behind the Estimator
+// interface, selected via Options.Estimator. The built-in CI-mean estimator
+// (NewCIMeanEstimator) reproduces the paper bit-for-bit and additionally
+// supports persistent, transferable profiles: its learned state exports to a
+// Profile (profile.go) and a prior Profile can warm-start a new run.
+
+// Estimator models kernel durations and decides predictability. The
+// Profiler consults one Estimator per rank: Observe feeds it measured
+// durations, Estimate supplies the modeled duration charged for skipped
+// kernels, Predictable gates the skip decision, and Extrapolate may offer a
+// cross-signature estimate for an under-sampled kernel (the line-fitting
+// extension). Implementations need not be safe for concurrent use; each
+// rank owns its estimator exclusively.
+//
+// Estimators may additionally implement WelfordCarrier (required for the
+// eager policy's cross-rank aggregation) and ProfileCarrier (profile export
+// and warm-starting).
+type Estimator interface {
+	// Name identifies the estimator in options and serialized profiles.
+	Name() string
+	// Observe incorporates one measured duration dt for key. flops is the
+	// kernel's operation count (0 for communication kernels) and eps the
+	// active confidence tolerance, which extrapolating estimators use to
+	// gate family-model feeding.
+	Observe(key Key, flops, dt, eps float64)
+	// Estimate returns the modeled duration charged for a skipped kernel
+	// (0 when the key has never been observed).
+	Estimate(key Key) float64
+	// Samples returns the number of observations backing key's model.
+	Samples(key Key) int64
+	// Predictable reports whether key's model meets tolerance eps given
+	// the execution-count credit freq along the current sub-critical path.
+	Predictable(key Key, eps float64, freq int64) bool
+	// Extrapolate returns a cross-signature estimate for a computation
+	// kernel whose own model is not yet trustworthy, or ok == false when
+	// the estimator does not extrapolate or the fit is untrustworthy.
+	Extrapolate(key Key, flops, eps float64) (float64, bool)
+	// Reset discards everything learned since construction (between tuning
+	// configurations). Estimators seeded with a prior restore the prior,
+	// not the empty state.
+	Reset()
+}
+
+// WelfordCarrier is the optional estimator interface behind the eager
+// policy's cross-rank statistics aggregation: kernel models are exported,
+// pooled across a sub-communicator, and re-imported on every member.
+// Estimators that do not implement it silently opt out of eager
+// propagation (kernels are then never globally switched off).
+type WelfordCarrier interface {
+	// ExportWelford returns key's rank-local accumulator (this run's own
+	// observations, excluding any prior layer — every rank of the pool
+	// shares the same prior, which must enter the pooled model exactly
+	// once) and whether the key has one.
+	ExportWelford(key Key) (stats.Welford, bool)
+	// ImportWelford installs a pooled accumulator as key's live model.
+	// The model is marked as pooled: it now holds other ranks' samples
+	// too, which profile exports flag so same-run rank merges deduplicate
+	// the shared copies instead of re-pooling them.
+	ImportWelford(key Key, w stats.Welford)
+}
+
+// ProfileCarrier is the optional estimator interface for persistent
+// profiles: what the estimator learned exports to a Profile, and a prior
+// Profile warm-starts it. LoadPrior layers the prior under the live models
+// — it survives Reset — while ExportProfile returns only what the current
+// run learned, so chaining runs via MergeProfiles never double-counts
+// samples.
+type ProfileCarrier interface {
+	ExportProfile() *Profile
+	LoadPrior(prior *Profile)
+}
+
+// ciMean is the paper's estimator: a Welford mean/variance accumulator per
+// kernel signature, the normal-theory confidence interval of Section III-A
+// for predictability, and (optionally) the per-routine-family log-log fit
+// of extrapolate.go. A loaded prior forms a read-only layer under the live
+// accumulators: queries merge the two, observations go to the live layer
+// only, and Reset clears only the live layer.
+type ciMean struct {
+	extrapolate bool
+	cur         map[Key]*stats.Welford
+	prior       map[Key]stats.Welford
+	families    map[string]*familyModel
+	// pooled marks keys whose live accumulator was installed by eager
+	// cross-rank aggregation: it holds other ranks' samples, so profile
+	// exports flag it (KernelModel.Pooled) and same-run rank merges keep
+	// the best copy instead of summing the shared samples p times.
+	pooled map[Key]bool
+	// priorProfile re-seeds the family models on Reset (Welford priors stay
+	// resident in prior and need no re-seeding).
+	priorProfile *Profile
+}
+
+// NewCIMeanEstimator returns the built-in confidence-interval estimator the
+// Profiler uses by default. extrapolate enables the family-model line
+// fitting of Section VIII (Options.Extrapolate sets it for the default
+// instance).
+func NewCIMeanEstimator(extrapolate bool) Estimator {
+	return &ciMean{
+		extrapolate: extrapolate,
+		cur:         make(map[Key]*stats.Welford),
+		families:    make(map[string]*familyModel),
+	}
+}
+
+// Name implements Estimator.
+func (e *ciMean) Name() string { return "ci-mean" }
+
+// model returns the combined (prior + live) accumulator for key. With no
+// prior layer the live accumulator is returned as-is, reproducing the
+// original hardwired path bit-for-bit.
+func (e *ciMean) model(key Key) stats.Welford {
+	w, hasPrior := e.prior[key]
+	cw, hasCur := e.cur[key]
+	if !hasPrior {
+		if hasCur {
+			return *cw
+		}
+		return stats.Welford{}
+	}
+	if hasCur {
+		w.Merge(*cw)
+	}
+	return w
+}
+
+// Observe implements Estimator: one Welford update, then — when
+// extrapolation is on — the family feeding rule of noteFamily: a
+// predictable computation-kernel model contributes its (flops, mean) point
+// to its routine family.
+func (e *ciMean) Observe(key Key, flops, dt, eps float64) {
+	w, ok := e.cur[key]
+	if !ok {
+		w = &stats.Welford{}
+		e.cur[key] = w
+	}
+	w.Add(dt)
+	if !e.extrapolate || key.Kind != KindComp || flops <= 0 {
+		return
+	}
+	m := e.model(key)
+	if m.Count() < 2 || !m.Predictable(eps, 1) {
+		return
+	}
+	fm, ok := e.families[key.Name]
+	if !ok {
+		fm = newFamilyModel()
+		e.families[key.Name] = fm
+	}
+	fm.add(flops, m.Mean())
+}
+
+// Estimate implements Estimator.
+func (e *ciMean) Estimate(key Key) float64 {
+	m := e.model(key)
+	return m.Mean()
+}
+
+// Samples implements Estimator.
+func (e *ciMean) Samples(key Key) int64 {
+	m := e.model(key)
+	return m.Count()
+}
+
+// Predictable implements Estimator.
+func (e *ciMean) Predictable(key Key, eps float64, freq int64) bool {
+	m := e.model(key)
+	return m.Predictable(eps, freq)
+}
+
+// Extrapolate implements Estimator: the family-model prediction of
+// extrapolate.go, when enabled and trustworthy.
+func (e *ciMean) Extrapolate(key Key, flops, eps float64) (float64, bool) {
+	if !e.extrapolate || key.Kind != KindComp || flops <= 0 {
+		return 0, false
+	}
+	fm, ok := e.families[key.Name]
+	if !ok {
+		return 0, false
+	}
+	return fm.predict(flops, eps)
+}
+
+// Reset implements Estimator: live models are discarded; the prior layer
+// (and prior-seeded family points) survive.
+func (e *ciMean) Reset() {
+	e.cur = make(map[Key]*stats.Welford)
+	e.families = make(map[string]*familyModel)
+	e.pooled = nil
+	if e.priorProfile != nil {
+		e.seedFamilies(e.priorProfile)
+	}
+}
+
+// ExportWelford implements WelfordCarrier: the rank-local live layer only.
+// The prior is shared by every rank, so pooling it here would count it
+// once per rank; it stays layered underneath and enters every query
+// through model() instead.
+func (e *ciMean) ExportWelford(key Key) (stats.Welford, bool) {
+	w, ok := e.cur[key]
+	if !ok {
+		return stats.Welford{}, false
+	}
+	return *w, true
+}
+
+// ImportWelford implements WelfordCarrier: a pooled model replaces the
+// live layer (any prior stays layered underneath, counted once) and the
+// key is marked pooled for profile exports.
+func (e *ciMean) ImportWelford(key Key, w stats.Welford) {
+	cw := w
+	e.cur[key] = &cw
+	if e.pooled == nil {
+		e.pooled = make(map[Key]bool)
+	}
+	e.pooled[key] = true
+}
+
+// ExportProfile implements ProfileCarrier: the live layer only (prior
+// samples are excluded so chained runs can merge profiles without
+// double-counting), plus every family point currently fitted — family
+// points are snapshots keyed by flops, so re-exporting prior-seeded points
+// is lossless under MergeProfiles.
+func (e *ciMean) ExportProfile() *Profile {
+	p := &Profile{
+		SchemaVersion: ProfileSchemaVersion,
+		Estimator:     e.Name(),
+		Kernels:       make(map[Key]KernelModel, len(e.cur)),
+		Families:      make(map[string]Family, len(e.families)),
+	}
+	for key, w := range e.cur {
+		if w.Count() == 0 {
+			continue
+		}
+		p.Kernels[key] = KernelModel{
+			Count: w.Count(), Mean: w.Mean(), M2: w.M2(),
+			Pooled: e.pooled[key],
+		}
+	}
+	for name, fm := range e.families {
+		if len(fm.points) == 0 {
+			continue
+		}
+		pts := make([]FamilyPoint, 0, len(fm.points))
+		for _, pt := range fm.points {
+			pts = append(pts, FamilyPoint{Flops: pt.flops, Mean: pt.mean})
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Flops < pts[j].Flops })
+		p.Families[name] = Family{Points: pts}
+	}
+	return p
+}
+
+// LoadPrior implements ProfileCarrier. Kernel models become the read-only
+// prior layer; family points seed the extrapolator. Both survive Reset.
+func (e *ciMean) LoadPrior(prior *Profile) {
+	if prior == nil {
+		return
+	}
+	e.priorProfile = prior
+	e.prior = make(map[Key]stats.Welford, len(prior.Kernels))
+	for key, km := range prior.Kernels {
+		e.prior[key] = stats.WelfordFromMoments(km.Count, km.Mean, km.M2)
+	}
+	e.seedFamilies(prior)
+}
+
+// seedFamilies installs the prior's family points into fresh models.
+func (e *ciMean) seedFamilies(prior *Profile) {
+	for name, fam := range prior.Families {
+		fm, ok := e.families[name]
+		if !ok {
+			fm = newFamilyModel()
+			e.families[name] = fm
+		}
+		for _, pt := range fam.Points {
+			fm.add(pt.Flops, pt.Mean)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package critter
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Kernel-model extrapolation, the extension Section VIII of the paper
 // proposes as future work: "Extrapolation of individual kernel performance
@@ -16,13 +19,20 @@ import "math"
 // tolerance, an unseen or under-sampled signature of the family may be
 // skipped immediately, its duration estimated from the fit — bypassing the
 // execute-at-least-once rule that otherwise forces a sample of every
-// distinct signature per configuration.
+// distinct signature per configuration. The family models are owned by the
+// built-in CI-mean estimator (estimator.go) and serialize into Profiles
+// (profile.go), which is how warm-started runs transfer across scales: a
+// fitted family predicts any flops count within its extrapolation range,
+// even for signatures the prior run never saw.
 
 // familyModel is the per-routine-name regression state. The fit is a
 // log-log line, ln t = a + b*ln flops, which captures both the linear
 // regime of large kernels and the efficiency roll-off of small ones.
 type familyModel struct {
-	points map[int]familyPoint // keyed by flops bucket (exact flops as int)
+	// points is keyed by the exact bit pattern of the point's flops value:
+	// distinct flops must stay distinct points (int truncation collided
+	// sub-integer-distinct values and overflowed beyond 2^63).
+	points map[uint64]familyPoint
 	dirty  bool
 	a, b   float64 // fitted ln t = a + b*ln flops
 	relErr float64 // max relative residual of the fit
@@ -36,26 +46,31 @@ type familyPoint struct {
 	mean  float64
 }
 
-// noteFamily feeds a predictable signature's model into its family.
-func (p *Profiler) noteFamily(name string, flops float64, ks *kernelStats) {
-	if !p.opts.Extrapolate || flops <= 0 || ks.Count() < 2 {
+func newFamilyModel() *familyModel {
+	return &familyModel{points: make(map[uint64]familyPoint)}
+}
+
+// add records one (flops, mean) point, replacing any previous point at the
+// same flops value. An unchanged point leaves the fit alone.
+func (fm *familyModel) add(flops, mean float64) {
+	key := math.Float64bits(flops)
+	if prev, exists := fm.points[key]; exists && prev.mean == mean {
 		return
 	}
-	if !ks.Predictable(p.opts.Eps, 1) {
-		return
-	}
-	fm, ok := p.families[name]
-	if !ok {
-		fm = &familyModel{points: make(map[int]familyPoint)}
-		p.families[name] = fm
-	}
-	key := int(flops)
-	prev, exists := fm.points[key]
-	if exists && prev.mean == ks.Mean() {
-		return
-	}
-	fm.points[key] = familyPoint{flops: flops, mean: ks.Mean()}
+	fm.points[key] = familyPoint{flops: flops, mean: mean}
 	fm.dirty = true
+}
+
+// sortedPoints returns the points in ascending flops order, making every
+// floating-point accumulation over them deterministic regardless of map
+// iteration order (profiles and bit-identical reruns depend on it).
+func (fm *familyModel) sortedPoints() []familyPoint {
+	pts := make([]familyPoint, 0, len(fm.points))
+	for _, pt := range fm.points {
+		pts = append(pts, pt)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].flops < pts[j].flops })
+	return pts
 }
 
 // refit recomputes the least-squares log-log line and its quality.
@@ -65,9 +80,10 @@ func (fm *familyModel) refit() {
 	if len(fm.points) < 3 {
 		return
 	}
+	pts := fm.sortedPoints()
 	var n, sx, sy, sxx, sxy float64
 	fm.minF, fm.maxF = math.Inf(1), math.Inf(-1)
-	for _, pt := range fm.points {
+	for _, pt := range pts {
 		if pt.mean <= 0 || pt.flops <= 0 {
 			return
 		}
@@ -77,8 +93,8 @@ func (fm *familyModel) refit() {
 		sy += y
 		sxx += x * x
 		sxy += x * y
-		fm.minF = math.Min(fm.minF, pt.flops)
-		fm.maxF = math.Max(fm.maxF, pt.flops)
+		fm.minF = min(fm.minF, pt.flops)
+		fm.maxF = max(fm.maxF, pt.flops)
 	}
 	det := n*sxx - sx*sx
 	if det == 0 {
@@ -87,12 +103,10 @@ func (fm *familyModel) refit() {
 	fm.b = (n*sxy - sx*sy) / det
 	fm.a = (sy - fm.b*sx) / n
 	fm.relErr = 0
-	for _, pt := range fm.points {
+	for _, pt := range pts {
 		pred := math.Exp(fm.a + fm.b*math.Log(pt.flops))
 		rel := math.Abs(pred-pt.mean) / pt.mean
-		if rel > fm.relErr {
-			fm.relErr = rel
-		}
+		fm.relErr = max(fm.relErr, rel)
 	}
 	fm.ok = fm.b >= 0
 }
@@ -118,25 +132,14 @@ func (fm *familyModel) predict(flops, eps float64) (float64, bool) {
 	return t, true
 }
 
-// extrapolated returns a family-model estimate for a computation kernel
-// whose own signature is not yet predictable, when extrapolation is enabled
-// and trustworthy.
-func (p *Profiler) extrapolated(name string, flops float64) (float64, bool) {
-	if !p.opts.Extrapolate || p.opts.Eps <= 0 || flops <= 0 {
-		return 0, false
-	}
-	fm, ok := p.families[name]
-	if !ok {
-		return 0, false
-	}
-	return fm.predict(flops, p.opts.Eps)
-}
-
 // FamilyPoints returns how many (flops, mean) points the named kernel
-// family has accumulated (for tests and diagnostics).
+// family has accumulated (for tests and diagnostics). Zero when the active
+// estimator does not extrapolate.
 func (p *Profiler) FamilyPoints(name string) int {
-	if fm, ok := p.families[name]; ok {
-		return len(fm.points)
+	if e, ok := p.est.(*ciMean); ok {
+		if fm, ok := e.families[name]; ok {
+			return len(fm.points)
+		}
 	}
 	return 0
 }

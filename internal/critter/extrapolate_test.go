@@ -6,13 +6,12 @@ import (
 )
 
 func TestFamilyModelFit(t *testing.T) {
-	fm := &familyModel{points: make(map[int]familyPoint)}
+	fm := newFamilyModel()
 	// Exact power-law family: t = 2e-9 * flops^1.1.
 	law := func(f float64) float64 { return 2e-9 * math.Pow(f, 1.1) }
 	for _, f := range []float64{1e3, 1e4, 1e5, 1e6} {
-		fm.points[int(f)] = familyPoint{flops: f, mean: law(f)}
+		fm.add(f, law(f))
 	}
-	fm.dirty = true
 	got, ok := fm.predict(5e5, 0.1)
 	if !ok {
 		t.Fatal("fit should be trustworthy")
@@ -30,23 +29,126 @@ func TestFamilyModelFit(t *testing.T) {
 	}
 }
 
+// TestFamilyModelExtrapolationClamp pins the exact extrapolation-range
+// bounds: 4x beyond the largest observed flops and a quarter of the
+// smallest are in range; anything past either bound is refused.
+func TestFamilyModelExtrapolationClamp(t *testing.T) {
+	fm := newFamilyModel()
+	law := func(f float64) float64 { return 1e-9 * f }
+	for _, f := range []float64{1e3, 1e4, 1e5} {
+		fm.add(f, law(f))
+	}
+	const lo, hi = 1e3, 1e5
+	for _, tc := range []struct {
+		flops float64
+		want  bool
+	}{
+		{4 * hi, true},             // exactly the upper clamp
+		{4*hi + 1e-3, false},       // just past it
+		{lo / 4, true},             // exactly the lower clamp
+		{lo/4 - 1e-9, false},       // just below it
+		{math.Sqrt(lo * hi), true}, // interior
+	} {
+		if _, ok := fm.predict(tc.flops, 0.5); ok != tc.want {
+			t.Errorf("predict(flops=%g) ok = %v, want %v", tc.flops, ok, tc.want)
+		}
+	}
+}
+
+// TestFamilyModelNegativeSlopeRejected checks the sanity guard fm.b >= 0: a
+// family whose duration shrinks as flops grow is physically implausible and
+// must never be trusted, however small its residuals.
+func TestFamilyModelNegativeSlopeRejected(t *testing.T) {
+	fm := newFamilyModel()
+	// A perfect inverse power law: t = 1e-3 * flops^-1. Residuals are ~0,
+	// so only the slope guard can reject it.
+	for _, f := range []float64{1e3, 1e4, 1e5, 1e6} {
+		fm.add(f, 1e-3/f)
+	}
+	if _, ok := fm.predict(5e4, 0.5); ok {
+		t.Error("negative-slope fit accepted")
+	}
+	fm.refit()
+	if fm.b >= 0 {
+		t.Fatalf("test premise broken: fitted slope %g not negative", fm.b)
+	}
+	if fm.ok {
+		t.Error("refit marked a negative-slope family as trustworthy")
+	}
+}
+
+// TestFamilyModelZeroDeterminantRefit checks the degenerate-fit guard:
+// when every point shares one flops value the normal equations are
+// singular (det == 0) and refit must refuse rather than divide by zero.
+// In normal operation same-flops points replace each other in the map, so
+// the singular system is forged through distinct keys directly.
+func TestFamilyModelZeroDeterminantRefit(t *testing.T) {
+	fm := newFamilyModel()
+	// A third add at an existing flops value replaces the point in place.
+	fm.add(1e3, 1e-6)
+	fm.add(2e3, 2e-6)
+	fm.add(2e3, 3e-6)
+	if len(fm.points) != 2 {
+		t.Fatalf("duplicate flops created %d points, want 2", len(fm.points))
+	}
+	sing := newFamilyModel()
+	const f = 1e3
+	for i, mean := range []float64{1e-6, 2e-6, 3e-6} {
+		sing.points[uint64(i)] = familyPoint{flops: f, mean: mean}
+	}
+	sing.dirty = true
+	if _, ok := sing.predict(f, 10); ok {
+		t.Error("zero-determinant (all-equal flops) system produced a fit")
+	}
+	if sing.dirty || sing.ok {
+		t.Errorf("refit left dirty=%v ok=%v, want false/false", sing.dirty, sing.ok)
+	}
+}
+
+// TestFamilyModelFlopsBitsKeying is the regression test for the int(flops)
+// truncation bug: two flops values that differ only below the integer part
+// must form two distinct points (they used to collide into one), and flops
+// beyond 2^63 (where int conversion overflows) must be usable as keys.
+func TestFamilyModelFlopsBitsKeying(t *testing.T) {
+	fm := newFamilyModel()
+	law := func(f float64) float64 { return 1e-9 * f }
+	fm.add(1000.25, law(1000.25))
+	fm.add(1000.75, law(1000.75))
+	if len(fm.points) != 2 {
+		t.Fatalf("sub-integer-distinct flops collapsed: %d points, want 2", len(fm.points))
+	}
+	fm.add(4000.5, law(4000.5))
+	if got, ok := fm.predict(2000, 0.01); !ok || math.Abs(got-law(2000))/law(2000) > 1e-9 {
+		t.Errorf("fit over sub-integer-distinct points: predict = %g ok=%v, want %g", got, ok, law(2000))
+	}
+	// Beyond 2^63: int(flops) overflow territory.
+	big := newFamilyModel()
+	for _, f := range []float64{1e19, 2e19, 4e19} {
+		big.add(f, law(f))
+	}
+	if len(big.points) != 3 {
+		t.Fatalf("flops > 2^63 keys collided: %d points, want 3", len(big.points))
+	}
+	if _, ok := big.predict(3e19, 0.01); !ok {
+		t.Error("fit over flops > 2^63 refused")
+	}
+}
+
 func TestFamilyModelRejectsPoorFit(t *testing.T) {
-	fm := &familyModel{points: make(map[int]familyPoint)}
+	fm := newFamilyModel()
 	// Wildly nonlinear points: residuals exceed any reasonable tolerance.
-	fm.points[1000] = familyPoint{flops: 1e3, mean: 1}
-	fm.points[2000] = familyPoint{flops: 2e3, mean: 100}
-	fm.points[3000] = familyPoint{flops: 3e3, mean: 1}
-	fm.dirty = true
+	fm.add(1e3, 1)
+	fm.add(2e3, 100)
+	fm.add(3e3, 1)
 	if _, ok := fm.predict(2.5e3, 0.1); ok {
 		t.Error("poor fit accepted")
 	}
 }
 
 func TestFamilyModelNeedsThreePoints(t *testing.T) {
-	fm := &familyModel{points: make(map[int]familyPoint)}
-	fm.points[1000] = familyPoint{flops: 1e3, mean: 1e-6}
-	fm.points[2000] = familyPoint{flops: 2e3, mean: 2e-6}
-	fm.dirty = true
+	fm := newFamilyModel()
+	fm.add(1e3, 1e-6)
+	fm.add(2e3, 2e-6)
 	if _, ok := fm.predict(1.5e3, 0.5); ok {
 		t.Error("two points should not make a trustworthy fit")
 	}

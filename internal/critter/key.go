@@ -20,6 +20,7 @@ package critter
 import (
 	"fmt"
 	"strconv"
+	"strings"
 )
 
 // Kind classifies a kernel as computation or communication.
@@ -65,6 +66,67 @@ func (k Key) String() string {
 		return fmt.Sprintf("comm:%s(words=%d,size=%d,stride=%d)", k.Name, k.P1, k.P2, k.P3)
 	}
 	return fmt.Sprintf("comp:%s(%d,%d,%d;%d)", k.Name, k.P1, k.P2, k.P3, k.P4)
+}
+
+// MarshalText encodes the key in the stable form used by serialized
+// profiles, "comp:name(p1,p2,p3;p4)" or "comm:name(p1,p2,p3;p4)", so maps
+// keyed by Key serialize as readable JSON objects. Names containing '(' or
+// ')' are rejected: they would make the encoding ambiguous.
+func (k Key) MarshalText() ([]byte, error) {
+	if strings.ContainsAny(k.Name, "()") {
+		return nil, fmt.Errorf("critter: kernel name %q not encodable (contains parentheses)", k.Name)
+	}
+	kind := "comp"
+	if k.Kind == KindComm {
+		kind = "comm"
+	}
+	return fmt.Appendf(nil, "%s:%s(%d,%d,%d;%d)", kind, k.Name, k.P1, k.P2, k.P3, k.P4), nil
+}
+
+// UnmarshalText decodes the encoding produced by MarshalText.
+func (k *Key) UnmarshalText(text []byte) error {
+	s := string(text)
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return fmt.Errorf("critter: bad key %q: missing kind separator", s)
+	}
+	var out Key
+	switch kind {
+	case "comp":
+		out.Kind = KindComp
+	case "comm":
+		out.Kind = KindComm
+	default:
+		return fmt.Errorf("critter: bad key %q: unknown kind %q", s, kind)
+	}
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return fmt.Errorf("critter: bad key %q: malformed parameter list", s)
+	}
+	out.Name = rest[:open]
+	if strings.ContainsAny(out.Name, "()") {
+		return fmt.Errorf("critter: bad key %q: parenthesized name", s)
+	}
+	params := rest[open+1 : len(rest)-1]
+	head, p4, ok := strings.Cut(params, ";")
+	if !ok {
+		return fmt.Errorf("critter: bad key %q: missing flags field", s)
+	}
+	fields := strings.Split(head, ",")
+	if len(fields) != 3 {
+		return fmt.Errorf("critter: bad key %q: want 3 dims, got %d", s, len(fields))
+	}
+	var err error
+	for i, dst := range []*int{&out.P1, &out.P2, &out.P3} {
+		if *dst, err = strconv.Atoi(fields[i]); err != nil {
+			return fmt.Errorf("critter: bad key %q: dim %d: %v", s, i+1, err)
+		}
+	}
+	if out.P4, err = strconv.Atoi(p4); err != nil {
+		return fmt.Errorf("critter: bad key %q: flags: %v", s, err)
+	}
+	*k = out
+	return nil
 }
 
 // Policy selects how kernel execution counts and statistics propagate

@@ -41,12 +41,12 @@ func (ps Pathset) clone() Pathset {
 // mutated; the returned Kernels map aliases the winning input's.
 func mergePath(a, b Pathset) Pathset {
 	out := Pathset{
-		ExecTime: maxf(a.ExecTime, b.ExecTime),
-		CompTime: maxf(a.CompTime, b.CompTime),
-		CommTime: maxf(a.CommTime, b.CommTime),
-		BSPComm:  maxf(a.BSPComm, b.BSPComm),
-		BSPSync:  maxf(a.BSPSync, b.BSPSync),
-		BSPComp:  maxf(a.BSPComp, b.BSPComp),
+		ExecTime: max(a.ExecTime, b.ExecTime),
+		CompTime: max(a.CompTime, b.CompTime),
+		CommTime: max(a.CommTime, b.CommTime),
+		BSPComm:  max(a.BSPComm, b.BSPComm),
+		BSPSync:  max(a.BSPSync, b.BSPSync),
+		BSPComp:  max(a.BSPComp, b.BSPComp),
 	}
 	if b.ExecTime > a.ExecTime {
 		out.Kernels = b.Kernels
@@ -54,13 +54,6 @@ func mergePath(a, b Pathset) Pathset {
 		out.Kernels = a.Kernels
 	}
 	return out
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // intMsg is the internal message piggybacked on intercepted communication.

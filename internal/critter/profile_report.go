@@ -25,10 +25,12 @@ type KernelProfile struct {
 func (p *Profiler) LocalProfile() []KernelProfile {
 	out := make([]KernelProfile, 0, len(p.pathKernelTime))
 	for key, t := range p.pathKernelTime {
-		kp := KernelProfile{Key: key, PathTime: t, PathCount: p.path.Kernels[key]}
-		if ks, ok := p.k[key]; ok {
-			kp.Mean = ks.Mean()
-			kp.Samples = ks.Count()
+		kp := KernelProfile{
+			Key:       key,
+			PathTime:  t,
+			PathCount: p.path.Kernels[key],
+			Mean:      p.est.Estimate(key),
+			Samples:   p.est.Samples(key),
 		}
 		out = append(out, kp)
 	}

@@ -5,13 +5,12 @@ import (
 
 	"critter/internal/channel"
 	"critter/internal/mpi"
-	"critter/internal/stats"
 )
 
-// kernelStats is the per-rank profile of one kernel signature (an entry of
-// the set K in the paper's notation).
+// kernelStats is the per-rank execution bookkeeping of one kernel signature
+// (an entry of the set K in the paper's notation). The signature's duration
+// model itself lives in the rank's Estimator.
 type kernelStats struct {
-	stats.Welford
 	// perConfig counts executions of the kernel during the current
 	// configuration; non-eager policies require at least one execution per
 	// tuning iteration before skipping (Section VI-A).
@@ -39,7 +38,19 @@ type Options struct {
 	// (the line-fitting extension of Section VIII): a computation kernel
 	// with an unseen or under-sampled signature may be skipped using a
 	// least-squares fit over its routine family's (flops, mean) points.
+	// Consulted only by the default estimator; a custom Estimator makes
+	// its own extrapolation choice.
 	Extrapolate bool
+	// Estimator selects the prediction model; nil means the paper's
+	// CI-mean estimator (NewCIMeanEstimator) with Extrapolate as
+	// configured, which reproduces the hardwired pre-Estimator path
+	// bit-for-bit. Each rank needs its own instance.
+	Estimator Estimator
+	// Prior warm-starts the estimator from a profile exported by an
+	// earlier run (Profiler.ExportProfile / GlobalProfile). Ignored when
+	// the estimator does not implement ProfileCarrier. The prior survives
+	// StartConfig resets: every configuration starts from it.
+	Prior *Profile
 }
 
 // Profiler is one rank's profiling state. Create one per rank with New,
@@ -65,9 +76,13 @@ type Profiler struct {
 	// report (profile_report.go).
 	pathKernelTime map[Key]float64
 
-	// families holds per-routine-name regression models for kernel-time
-	// extrapolation across input sizes (extrapolate.go).
-	families map[string]*familyModel
+	// est is the rank's prediction model (estimator.go): kernel duration
+	// estimates, predictability decisions, and extrapolation.
+	est Estimator
+	// archive accumulates profile exports across StartConfig resets, so
+	// ExportProfile covers everything the run learned, not just the
+	// current configuration.
+	archive *Profile
 	// extrapolatedSkips counts skips decided by family-model fits.
 	extrapolatedSkips int64
 
@@ -92,7 +107,15 @@ func New(world *mpi.Comm, opts Options) (*Profiler, *Comm) {
 		k:          make(map[Key]*kernelStats),
 		localFreq:  make(map[Key]int64),
 		aggregates: make(map[uint64]channel.Channel),
-		families:   make(map[string]*familyModel),
+	}
+	p.est = opts.Estimator
+	if p.est == nil {
+		p.est = NewCIMeanEstimator(opts.Extrapolate)
+	}
+	if opts.Prior != nil {
+		if pc, ok := p.est.(ProfileCarrier); ok {
+			pc.LoadPrior(opts.Prior)
+		}
 	}
 	p.pathKernelTime = make(map[Key]float64)
 	p.path.Kernels = make(map[Key]int64)
@@ -117,6 +140,9 @@ func (p *Profiler) Policy() Policy { return p.opts.Policy }
 // Eps returns the active confidence tolerance.
 func (p *Profiler) Eps() float64 { return p.opts.Eps }
 
+// Estimator returns the rank's prediction model.
+func (p *Profiler) Estimator() Estimator { return p.est }
+
 // World returns the wrapped world communicator.
 func (p *Profiler) World() *Comm { return p.world }
 
@@ -134,21 +160,12 @@ func (p *Profiler) kernel(key Key) *kernelStats {
 // far on this rank.
 func (p *Profiler) KernelCount() int { return len(p.k) }
 
-// Mean returns the modeled mean duration for key (0 if never sampled).
-func (p *Profiler) Mean(key Key) float64 {
-	if ks, ok := p.k[key]; ok {
-		return ks.Mean()
-	}
-	return 0
-}
+// Mean returns the modeled mean duration for key (0 if never sampled; a
+// warm-started estimator answers from its prior before the first sample).
+func (p *Profiler) Mean(key Key) float64 { return p.est.Estimate(key) }
 
-// Samples returns the number of duration samples recorded for key.
-func (p *Profiler) Samples(key Key) int64 {
-	if ks, ok := p.k[key]; ok {
-		return ks.Count()
-	}
-	return 0
-}
+// Samples returns the number of duration samples backing key's model.
+func (p *Profiler) Samples(key Key) int64 { return p.est.Samples(key) }
 
 // PathFreqs returns a copy of the rank's current path frequency table.
 func (p *Profiler) PathFreqs() map[Key]int64 {
@@ -196,12 +213,13 @@ func (p *Profiler) shouldExecute(key Key, ks *kernelStats) bool {
 	if ks.perConfig < 1 {
 		return true
 	}
-	return !ks.Predictable(p.opts.Eps, p.freqFor(key))
+	return !p.est.Predictable(key, p.opts.Eps, p.freqFor(key))
 }
 
-// record incorporates one measured duration for key.
-func (p *Profiler) record(key Key, ks *kernelStats, dt float64) {
-	ks.Add(dt)
+// record incorporates one measured duration for key: the estimator observes
+// the sample and the per-configuration execution counters advance.
+func (p *Profiler) record(key Key, ks *kernelStats, flops, dt float64) {
+	p.est.Observe(key, flops, dt, p.opts.Eps)
 	ks.perConfig++
 	p.executed++
 	p.kernelTime += dt
@@ -234,12 +252,12 @@ func (p *Profiler) adopt(g Pathset) {
 		}
 	}
 	p.path = Pathset{
-		ExecTime: maxf(p.path.ExecTime, g.ExecTime),
-		CompTime: maxf(p.path.CompTime, g.CompTime),
-		CommTime: maxf(p.path.CommTime, g.CommTime),
-		BSPComm:  maxf(p.path.BSPComm, g.BSPComm),
-		BSPSync:  maxf(p.path.BSPSync, g.BSPSync),
-		BSPComp:  maxf(p.path.BSPComp, g.BSPComp),
+		ExecTime: max(p.path.ExecTime, g.ExecTime),
+		CompTime: max(p.path.CompTime, g.CompTime),
+		CommTime: max(p.path.CommTime, g.CommTime),
+		BSPComm:  max(p.path.BSPComm, g.BSPComm),
+		BSPSync:  max(p.path.BSPSync, g.BSPSync),
+		BSPComp:  max(p.path.BSPComp, g.BSPComp),
 		Kernels:  kernels,
 	}
 }
@@ -255,10 +273,11 @@ func (p *Profiler) Kernel(name string, d1, d2, d3, d4 int, flops float64, run fu
 	p.notePath(key)
 	var dt float64
 	exec := p.shouldExecute(key, ks)
-	if exec {
+	if exec && p.opts.Eps > 0 && flops > 0 {
 		// Line-fitting extension: an under-sampled signature may still
 		// be skipped when its routine family's fit is trustworthy.
-		if est, ok := p.extrapolated(name, flops); ok && !ks.Predictable(p.opts.Eps, p.freqFor(key)) {
+		if est, ok := p.est.Extrapolate(key, flops, p.opts.Eps); ok &&
+			!p.est.Predictable(key, p.opts.Eps, p.freqFor(key)) {
 			exec = false
 			dt = est
 			p.extrapolatedSkips++
@@ -267,11 +286,10 @@ func (p *Profiler) Kernel(name string, d1, d2, d3, d4 int, flops float64, run fu
 	if exec {
 		dt = p.world.user.Compute(flops)
 		run()
-		p.record(key, ks, dt)
-		p.noteFamily(name, flops, ks)
+		p.record(key, ks, flops, dt)
 	} else {
 		if dt == 0 {
-			dt = ks.Mean()
+			dt = p.est.Estimate(key)
 		}
 		p.skipped++
 	}
@@ -292,6 +310,7 @@ func (p *Profiler) Kernel(name string, d1, d2, d3, d4 int, flops float64, run fu
 func (p *Profiler) StartConfig(resetStats bool) {
 	p.world.internal.GatherAnyUntimed(nil) // align ranks before resetting clocks
 	p.world.user.ResetClock()
+	p.archivePathFreqs()
 	p.path = Pathset{Kernels: make(map[Key]int64)}
 	p.localFreq = make(map[Key]int64)
 	p.pathKernelTime = make(map[Key]float64)
@@ -299,8 +318,13 @@ func (p *Profiler) StartConfig(resetStats bool) {
 	p.volCommWords, p.volSync, p.volFlops = 0, 0, 0
 	p.executed, p.skipped = 0, 0
 	if resetStats && p.opts.Policy != Eager {
+		// Archive what the estimator learned before wiping it, so the
+		// run's exported profile spans every configuration. (Without a
+		// reset the live estimator state persists and is merged at export
+		// time instead — archiving it here would double-count samples.)
+		p.archiveEstimator()
 		p.k = make(map[Key]*kernelStats)
-		p.families = make(map[string]*familyModel)
+		p.est.Reset()
 		p.extrapolatedSkips = 0
 	} else {
 		for _, ks := range p.k {
@@ -389,6 +413,77 @@ func (p *Profiler) GlobalPathFreqs() map[Key]int64 {
 		out[k] = v
 	}
 	return out
+}
+
+// archivePathFreqs max-merges the configuration's path frequency table into
+// the archive before StartConfig resets the pathset.
+func (p *Profiler) archivePathFreqs() {
+	if len(p.path.Kernels) == 0 {
+		return
+	}
+	if p.archive == nil {
+		p.archive = &Profile{SchemaVersion: ProfileSchemaVersion}
+	}
+	if p.archive.PathFreqs == nil {
+		p.archive.PathFreqs = make(map[Key]int64, len(p.path.Kernels))
+	}
+	for k, v := range p.path.Kernels {
+		p.archive.PathFreqs[k] = max(p.archive.PathFreqs[k], v)
+	}
+}
+
+// archiveEstimator merges the estimator's current export into the archive;
+// called only when the estimator is about to be reset, so no sample is ever
+// archived twice.
+func (p *Profiler) archiveEstimator() {
+	pc, ok := p.est.(ProfileCarrier)
+	if !ok {
+		return
+	}
+	exp := pc.ExportProfile()
+	if exp == nil || (len(exp.Kernels) == 0 && len(exp.Families) == 0) {
+		return
+	}
+	if p.archive == nil {
+		p.archive = &Profile{SchemaVersion: ProfileSchemaVersion}
+	}
+	p.archive.Merge(exp)
+}
+
+// ExportProfile returns this rank's learned profile: everything archived
+// across configuration resets, the live estimator state, and the path
+// frequencies seen so far. Samples loaded from Options.Prior are excluded,
+// so chaining runs via MergeProfiles never counts a sample twice. Returns
+// an empty (but non-nil) profile when the estimator does not implement
+// ProfileCarrier.
+func (p *Profiler) ExportProfile() *Profile {
+	out := p.archive.Clone()
+	if out == nil {
+		out = &Profile{SchemaVersion: ProfileSchemaVersion}
+	}
+	if pc, ok := p.est.(ProfileCarrier); ok {
+		out.Merge(pc.ExportProfile())
+	}
+	if out.Estimator == "" {
+		out.Estimator = p.est.Name()
+	}
+	if len(p.path.Kernels) > 0 && out.PathFreqs == nil {
+		out.PathFreqs = make(map[Key]int64, len(p.path.Kernels))
+	}
+	for k, v := range p.path.Kernels {
+		out.PathFreqs[k] = max(out.PathFreqs[k], v)
+	}
+	return out
+}
+
+// GlobalProfile merges every rank's exported profile into one artifact,
+// identical on every rank. Collective over the world communicator; the
+// result must be treated as read-only (it is shared across ranks).
+func (p *Profiler) GlobalProfile() *Profile {
+	g := p.world.internal.AllreduceAny(p.ExportProfile(), func(a, b any) any {
+		return mergeProfilesSameRun(a.(*Profile), b.(*Profile))
+	})
+	return g.(*Profile)
 }
 
 // registerChannel records a newly created communicator's channel and

@@ -64,6 +64,25 @@ func (w *Welford) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
+// M2 returns the accumulated sum of squared deviations from the mean (the
+// second raw moment of Welford's recurrence). Together with Count and Mean it
+// fully determines the accumulator state, so the triple serializes a model.
+func (w *Welford) M2() float64 { return w.m2 }
+
+// WelfordFromMoments reconstructs an accumulator from its serialized state
+// (count, mean, m2), the inverse of the Count/Mean/M2 accessors. Negative
+// counts and m2 are clamped to zero so corrupted inputs cannot produce
+// negative variances.
+func WelfordFromMoments(n int64, mean, m2 float64) Welford {
+	if n <= 0 {
+		return Welford{}
+	}
+	if m2 < 0 {
+		m2 = 0
+	}
+	return Welford{n: n, mean: mean, m2: m2}
+}
+
 // Reset empties the accumulator.
 func (w *Welford) Reset() { *w = Welford{} }
 
