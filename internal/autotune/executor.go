@@ -58,6 +58,31 @@ func (ps *progressSink) report(study string, pol critter.Policy, eps float64, er
 	}
 }
 
+// scratch is the reusable per-worker arena threaded through the executor:
+// every world a worker creates shares one data-plane buffer pool, so
+// consecutive sweeps (and configurations within them) recycle each other's
+// message payload buffers instead of reallocating the same tile-sized
+// slices thousands of times. A scratch belongs to exactly one worker
+// goroutine at a time; the pool it hands to worlds is itself concurrency
+// safe (the world's ranks share it).
+type scratch struct {
+	bufs *mpi.BufPool
+}
+
+// newScratch builds one worker's arena. Each worker owns its pool
+// outright: no cross-worker contention, and the memory dies with the run
+// instead of pinning the largest study's buffers for the process lifetime.
+func newScratch() *scratch { return &scratch{bufs: mpi.NewBufPool()} }
+
+// world creates a sweep world wired to this worker's arena.
+func (s *scratch) world(size int, machine sim.Machine, seed uint64) *mpi.World {
+	w := mpi.NewWorld(size, machine, seed)
+	if s != nil {
+		w.SetBufPool(s.bufs)
+	}
+	return w
+}
+
 // sweepJob is one (study, policy, eps) cell of the evaluation grid. It owns
 // its result slot exclusively, so workers share no mutable state beyond the
 // progress sink.
@@ -81,13 +106,13 @@ type sweepJob struct {
 	emit func(SweepResult, error)
 }
 
-// run simulates the sweep in a fresh world and stores rank 0's view. A done
-// context skips the simulation entirely; failure or cancellation zeroes the
-// slot.
-func (j sweepJob) run(ctx context.Context) error {
+// run simulates the sweep in a fresh world — wired to the worker's arena —
+// and stores rank 0's view. A done context skips the simulation entirely;
+// failure or cancellation zeroes the slot.
+func (j sweepJob) run(ctx context.Context, sc *scratch) error {
 	var err error
 	if err = ctx.Err(); err == nil {
-		w := mpi.NewWorld(j.study.WorldSize, j.machine, j.seed)
+		w := sc.world(j.study.WorldSize, j.machine, j.seed)
 		err = w.Run(func(c *mpi.Comm) {
 			sr := runSweep(ctx, c, j)
 			if c.Rank() == 0 {
@@ -110,12 +135,13 @@ func (j sweepJob) run(ctx context.Context) error {
 	return err
 }
 
-// forEachBounded runs fn(i) for every i in [0, n) on at most workers
-// goroutines (0 or negative means runtime.GOMAXPROCS(0); 1 recovers the
-// sequential path). The index channel is buffered to n, so feeding it never
-// blocks a worker. It is the one pool implementation shared by the sweep
-// executor and the full-only pass.
-func forEachBounded(n, workers int, fn func(i int)) {
+// forEachBounded runs fn(i, worker) for every i in [0, n) on at most
+// workers goroutines (0 or negative means runtime.GOMAXPROCS(0); 1 recovers
+// the sequential path). worker identifies the executing pool slot, so
+// callers can thread one scratch arena per worker. The index channel is
+// buffered to n, so feeding it never blocks a worker. It is the one pool
+// implementation shared by the sweep executor and the full-only pass.
+func forEachBounded(n, workers int, fn func(i, worker int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -124,7 +150,7 @@ func forEachBounded(n, workers int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, 0)
 		}
 		return
 	}
@@ -136,23 +162,28 @@ func forEachBounded(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				fn(i, worker)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
 
-// runJobs executes jobs on at most workers goroutines and returns the
-// per-job errors in job order, nil entries for successes. A failed sweep
-// never blocks the others.
+// runJobs executes jobs on at most workers goroutines — each carrying its
+// own scratch arena — and returns the per-job errors in job order, nil
+// entries for successes. A failed sweep never blocks the others.
 func runJobs(ctx context.Context, jobs []sweepJob, workers int) []error {
 	errs := make([]error, len(jobs))
-	forEachBounded(len(jobs), workers, func(i int) {
-		errs[i] = jobs[i].run(ctx)
+	var scratches sync.Map // worker -> *scratch, created lazily per pool slot
+	forEachBounded(len(jobs), workers, func(i, worker int) {
+		sc, ok := scratches.Load(worker)
+		if !ok {
+			sc, _ = scratches.LoadOrStore(worker, newScratch())
+		}
+		errs[i] = jobs[i].run(ctx, sc.(*scratch))
 	})
 	return errs
 }

@@ -1,0 +1,113 @@
+package autotune
+
+// Golden-envelope equality tests: the full result grids of all four case
+// studies — eager propagation (CAPITAL) and the successive-halving strategy
+// included — are pinned byte-for-byte against committed golden JSON. The
+// simulation substrate underneath (mpi fabric, pathset propagation, sweep
+// executor) may be rebuilt freely, but these tests prove the sweep results
+// stay bit-identical: any refactor that perturbs virtual-time determinism,
+// pathset merging, or estimator feeding order fails here.
+//
+// Regenerate with:
+//
+//	go test ./internal/autotune -run TestGoldenEnvelope -update-golden
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"critter/internal/sim"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden envelope files")
+
+// goldenMachine is the fixed machine model behind the golden grids.
+func goldenMachine() sim.Machine {
+	m := sim.DefaultMachine()
+	m.NoiseSigma = 0.05
+	return m
+}
+
+// goldenCases enumerates the pinned (study, strategy) grid. Exhaustive runs
+// every study under its full policy list (eager included for CAPITAL);
+// halving exercises the rung-pruning path on every study.
+func goldenCases(t *testing.T) []struct {
+	name  string
+	study Study
+	strat Strategy
+	eps   []float64
+} {
+	t.Helper()
+	halving := func() Strategy {
+		s, err := ParseStrategy("halving", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	q := QuickScale()
+	return []struct {
+		name  string
+		study Study
+		strat Strategy
+		eps   []float64
+	}{
+		{"capital_exhaustive", CapitalCholesky(q), Exhaustive{}, []float64{0.5, 0.125}},
+		{"slate-chol_exhaustive", SlateCholesky(q), Exhaustive{}, []float64{0.5, 0.125}},
+		{"candmc_exhaustive", CandmcQR(q), Exhaustive{}, []float64{0.5, 0.125}},
+		{"slate-qr_exhaustive", SlateQR(q), Exhaustive{}, []float64{0.125}},
+		{"capital_halving", CapitalCholesky(q), halving(), []float64{0.125}},
+		{"slate-chol_halving", SlateCholesky(q), halving(), []float64{0.125}},
+		{"candmc_halving", CandmcQR(q), halving(), []float64{0.125}},
+		{"slate-qr_halving", SlateQR(q), halving(), []float64{0.125}},
+	}
+}
+
+// TestGoldenEnvelope runs each pinned case and compares the serialized
+// result grid byte-for-byte against its golden file.
+func TestGoldenEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden grids run full sweeps")
+	}
+	for _, tc := range goldenCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Tuner{
+				Study:    tc.study,
+				EpsList:  tc.eps,
+				Machine:  goldenMachine(),
+				Seed:     42,
+				Strategy: tc.strat,
+			}.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "envelope_"+tc.name+".golden.json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("result grid diverges from golden %s: sweep results are no longer bit-identical\n(regenerate with -update-golden only if the change is intended)", path)
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"critter/internal/critter"
 	"critter/internal/mpi"
@@ -195,19 +196,24 @@ func FullOnlyCtx(ctx context.Context, study Study, machine sim.Machine, seed uin
 	n := study.Size()
 	reports := make([]critter.Report, n)
 	errs := make([]error, n)
-	forEachBounded(n, workers, func(v int) {
-		errs[v] = fullOnlyConfig(ctx, study, machine, seed, v, &reports[v])
+	var scratches sync.Map // worker -> *scratch
+	forEachBounded(n, workers, func(v, worker int) {
+		sc, ok := scratches.Load(worker)
+		if !ok {
+			sc, _ = scratches.LoadOrStore(worker, newScratch())
+		}
+		errs[v] = fullOnlyConfig(ctx, study, machine, seed, v, sc.(*scratch), &reports[v])
 	})
 	return reports, errors.Join(errs...)
 }
 
 // fullOnlyConfig runs one configuration with full execution in its own
-// world, storing rank 0's report.
-func fullOnlyConfig(ctx context.Context, study Study, machine sim.Machine, seed uint64, v int, out *critter.Report) error {
+// world — wired to the worker's arena — storing rank 0's report.
+func fullOnlyConfig(ctx context.Context, study Study, machine sim.Machine, seed uint64, v int, sc *scratch, out *critter.Report) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("autotune: %s: config %d: %w", study.Name, v, err)
 	}
-	w := mpi.NewWorld(study.WorldSize, machine, seed)
+	w := sc.world(study.WorldSize, machine, seed)
 	err := w.Run(func(c *mpi.Comm) {
 		p, cc := critter.New(c, critter.Options{Policy: critter.Conditional, Eps: 0})
 		p.StartConfig(true)

@@ -43,8 +43,14 @@ func FromGroup(group []int) (Channel, bool) {
 	if len(group) == 0 {
 		return Channel{}, false
 	}
-	sorted := append([]int(nil), group...)
-	sort.Ints(sorted)
+	// Grid fiber groups arrive already ascending; skip the defensive
+	// sort-copy for them (communicator construction is per configuration,
+	// and this path's allocations add up across a sweep).
+	sorted := group
+	if !isAscending(group) {
+		sorted = append([]int(nil), group...)
+		sort.Ints(sorted)
+	}
 	ch := Channel{Offset: sorted[0]}
 	if len(sorted) == 1 {
 		return ch, true
@@ -60,6 +66,16 @@ func FromGroup(group []int) (Channel, bool) {
 	}
 	ch.Dims = []Dim{{Stride: d, Size: len(sorted)}}
 	return ch, true
+}
+
+// isAscending reports whether xs is strictly increasing.
+func isAscending(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // P2P returns the size-2 channel the paper assigns to a point-to-point

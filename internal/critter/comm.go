@@ -8,6 +8,8 @@ import (
 // Comm is a profiled communicator: every operation runs the paper's path
 // propagation protocol (internal piggyback messages on a duplicate
 // communicator) around the user operation, which is selectively executed.
+// Internal messages travel through the profiler's pre-resolved typed lane
+// (mpi.Lane[intMsg]), so the piggyback path never boxes.
 type Comm struct {
 	p        *Profiler
 	user     *mpi.Comm
@@ -67,10 +69,11 @@ func (c *Comm) Split(color, key int) *Comm {
 func (c *Comm) collective(op string, words int, bspWords float64, run func() float64) {
 	p := c.p
 	key := CommKey(op, words, c.user.Size(), c.stride())
-	ks := p.kernel(key)
-	p.notePath(key)
-	local := intMsg{Exec: p.shouldExecute(key, ks), Path: p.snapshot()}
-	g := c.internal.AllreduceAny(local, mergeIntMsg).(intMsg)
+	id := p.intern(key)
+	ks := p.stats(id)
+	p.notePath(id)
+	local := intMsg{Exec: p.shouldExecute(key, id, ks), Path: p.snapshot()}
+	g := c.p.lane.Allreduce(c.internal, local, mergeIntMsg)
 	p.adopt(g.Path)
 	var dt float64
 	if g.Exec {
@@ -80,22 +83,22 @@ func (c *Comm) collective(op string, words int, bspWords float64, run func() flo
 		dt = p.est.Estimate(key)
 		p.skipped++
 	}
-	p.accountComm(key, dt, bspWords)
+	p.accountComm(id, dt, bspWords)
 	if p.opts.Policy == Eager {
 		p.aggregateEager(c)
 	}
 }
 
 // accountComm adds one communication kernel's contribution to the pathset
-// and volumetric accumulators.
-func (p *Profiler) accountComm(key Key, dt, bspWords float64) {
+// and volumetric accumulators. id is the kernel's interned signature.
+func (p *Profiler) accountComm(id uint32, dt, bspWords float64) {
 	p.path.ExecTime += dt
 	p.path.CommTime += dt
 	p.path.BSPComm += bspWords
 	p.path.BSPSync++
 	p.volCommWords += bspWords
 	p.volSync++
-	p.pathKernelTime[key] += dt
+	p.pathKernelTime[id] += dt
 }
 
 // Barrier profiles a barrier synchronization.
@@ -140,11 +143,19 @@ func (c *Comm) Scatter(root int, in, out []float64) {
 }
 
 // p2pKey builds the signature of a point-to-point kernel: size-2
-// sub-communicator whose stride is the world-rank distance of the endpoints.
+// sub-communicator whose stride is the world-rank distance of the
+// endpoints, exactly channel.P2P's stride without materializing the
+// channel (this runs on every p2p interception).
 func (c *Comm) p2pKey(op string, words, peer int) Key {
 	a, b := c.user.Group()[c.user.Rank()], c.user.Group()[peer]
-	ch := channel.P2P(a, b)
-	return CommKey(op, words, 2, ch.Dims[0].Stride)
+	s := b - a
+	if s < 0 {
+		s = -s
+	}
+	if s == 0 {
+		s = 1 // self-message; degenerate but keep a valid stride
+	}
+	return CommKey(op, words, 2, s)
 }
 
 // Internal piggyback messages are tagged by direction so that a send's
@@ -163,11 +174,12 @@ func srIntTag(tag int) int   { return 3*tag + 2 }
 func (c *Comm) Send(dest, tag int, buf []float64) {
 	p := c.p
 	key := c.p2pKey("send", len(buf), dest)
-	ks := p.kernel(key)
-	p.notePath(key)
-	local := p.shouldExecute(key, ks)
-	c.internal.SendAny(dest, sendIntTag(tag), intMsg{Exec: local, Path: p.snapshot()})
-	peer := c.internal.RecvAny(dest, recvIntTag(tag)).(intMsg)
+	id := p.intern(key)
+	ks := p.stats(id)
+	p.notePath(id)
+	local := p.shouldExecute(key, id, ks)
+	c.p.lane.Send(c.internal, dest, sendIntTag(tag), intMsg{Exec: local, Path: p.snapshot()})
+	peer := c.p.lane.Recv(c.internal, dest, recvIntTag(tag))
 	p.adopt(peer.Path)
 	exec := local || peer.Exec
 	var dt float64
@@ -178,7 +190,7 @@ func (c *Comm) Send(dest, tag int, buf []float64) {
 		dt = p.est.Estimate(key)
 		p.skipped++
 	}
-	p.accountComm(key, dt, float64(len(buf)))
+	p.accountComm(id, dt, float64(len(buf)))
 }
 
 // Recv profiles a blocking receive matching either a profiled Send or a
@@ -187,11 +199,12 @@ func (c *Comm) Send(dest, tag int, buf []float64) {
 func (c *Comm) Recv(src, tag int, buf []float64) {
 	p := c.p
 	key := c.p2pKey("recv", len(buf), src)
-	ks := p.kernel(key)
-	p.notePath(key)
-	local := p.shouldExecute(key, ks)
-	c.internal.SendAny(src, recvIntTag(tag), intMsg{Exec: local, Path: p.snapshot()})
-	peer := c.internal.RecvAny(src, sendIntTag(tag)).(intMsg)
+	id := p.intern(key)
+	ks := p.stats(id)
+	p.notePath(id)
+	local := p.shouldExecute(key, id, ks)
+	c.p.lane.Send(c.internal, src, recvIntTag(tag), intMsg{Exec: local, Path: p.snapshot()})
+	peer := c.p.lane.Recv(c.internal, src, sendIntTag(tag))
 	p.adopt(peer.Path)
 	exec := local || peer.Exec
 	if peer.Committed {
@@ -205,7 +218,7 @@ func (c *Comm) Recv(src, tag int, buf []float64) {
 		dt = p.est.Estimate(key)
 		p.skipped++
 	}
-	p.accountComm(key, dt, float64(len(buf)))
+	p.accountComm(id, dt, float64(len(buf)))
 }
 
 // Sendrecv profiles a combined send and receive. When the operation is a
@@ -223,13 +236,17 @@ func (c *Comm) Sendrecv(dest, sendTag int, sendBuf []float64, src, recvTag int, 
 	p := c.p
 	sendKey := c.p2pKey("send", len(sendBuf), dest)
 	recvKey := c.p2pKey("recv", len(recvBuf), src)
-	sks, rks := p.kernel(sendKey), p.kernel(recvKey)
-	p.notePath(sendKey)
-	p.notePath(recvKey)
-	localSend := p.shouldExecute(sendKey, sks)
-	localRecv := p.shouldExecute(recvKey, rks)
-	peer := c.internal.ExchangeAny(dest, srIntTag(sendTag),
-		intMsg{Exec: localSend, Exec2: localRecv, Path: p.snapshot()}).(intMsg)
+	sendID, recvID := p.intern(sendKey), p.intern(recvKey)
+	// One ensure before taking both pointers: a second stats call could
+	// grow the dense tables and invalidate the first.
+	p.ensure(max(sendID, recvID))
+	sks, rks := p.stats(sendID), p.stats(recvID)
+	p.notePath(sendID)
+	p.notePath(recvID)
+	localSend := p.shouldExecute(sendKey, sendID, sks)
+	localRecv := p.shouldExecute(recvKey, recvID, rks)
+	peer := c.p.lane.Exchange(c.internal, dest, srIntTag(sendTag),
+		intMsg{Exec: localSend, Exec2: localRecv, Path: p.snapshot()})
 	p.adopt(peer.Path)
 	// My send pairs with the peer's receive and vice versa; both sides
 	// compute the same OR for each direction.
@@ -243,7 +260,7 @@ func (c *Comm) Sendrecv(dest, sendTag int, sendBuf []float64, src, recvTag int, 
 		dt = p.est.Estimate(sendKey)
 		p.skipped++
 	}
-	p.accountComm(sendKey, dt, float64(len(sendBuf)))
+	p.accountComm(sendID, dt, float64(len(sendBuf)))
 	if execRecv {
 		dt = c.user.Recv(src, recvTag, recvBuf)
 		p.record(recvKey, rks, 0, dt)
@@ -251,13 +268,13 @@ func (c *Comm) Sendrecv(dest, sendTag int, sendBuf []float64, src, recvTag int, 
 		dt = p.est.Estimate(recvKey)
 		p.skipped++
 	}
-	p.accountComm(recvKey, dt, float64(len(recvBuf)))
+	p.accountComm(recvID, dt, float64(len(recvBuf)))
 }
 
 // Request is a profiled nonblocking operation handle.
 type Request struct {
 	c        *Comm
-	key      Key
+	id       uint32
 	peer     int
 	tag      int
 	exec     bool
@@ -273,11 +290,12 @@ type Request struct {
 func (c *Comm) Isend(dest, tag int, buf []float64) *Request {
 	p := c.p
 	key := c.p2pKey("isend", len(buf), dest)
-	ks := p.kernel(key)
-	p.notePath(key)
-	exec := p.shouldExecute(key, ks)
-	c.internal.SendAny(dest, sendIntTag(tag), intMsg{Exec: exec, Committed: true, Path: p.snapshot()})
-	r := &Request{c: c, key: key, peer: dest, tag: tag, exec: exec}
+	id := p.intern(key)
+	ks := p.stats(id)
+	p.notePath(id)
+	exec := p.shouldExecute(key, id, ks)
+	c.p.lane.Send(c.internal, dest, sendIntTag(tag), intMsg{Exec: exec, Committed: true, Path: p.snapshot()})
+	r := &Request{c: c, id: id, peer: dest, tag: tag, exec: exec}
 	var dt float64
 	if exec {
 		t0 := c.user.Clock()
@@ -288,7 +306,7 @@ func (c *Comm) Isend(dest, tag int, buf []float64) *Request {
 		dt = p.est.Estimate(key)
 		p.skipped++
 	}
-	p.accountComm(key, dt, float64(len(buf)))
+	p.accountComm(id, dt, float64(len(buf)))
 	return r
 }
 
@@ -312,7 +330,7 @@ func (r *Request) Wait() {
 		return
 	}
 	p := r.c.p
-	m := r.c.internal.RecvAny(r.peer, recvIntTag(r.tag)).(intMsg)
+	m := r.c.p.lane.Recv(r.c.internal, r.peer, recvIntTag(r.tag))
 	p.adopt(m.Path)
 	if r.user != nil {
 		r.user.Wait()

@@ -2,6 +2,7 @@ package critter
 
 import (
 	"critter/internal/channel"
+	"critter/internal/mpi"
 	"critter/internal/stats"
 )
 
@@ -24,10 +25,12 @@ func (p *Profiler) aggregateEager(c *Comm) {
 	}
 	ch := c.ch
 	nominate := make(map[Key]stats.Welford)
-	for key, ks := range p.k {
-		if ks.propagated {
+	for id := range p.k {
+		ks := &p.k[id]
+		if !ks.seen || ks.propagated {
 			continue
 		}
+		key := p.keys[id]
 		w, has := wc.ExportWelford(key)
 		if !has || w.Count() < 2 {
 			continue
@@ -43,12 +46,12 @@ func (p *Profiler) aggregateEager(c *Comm) {
 		}
 		nominate[key] = w
 	}
-	merged := c.internal.AllreduceAny(nominate, mergeNominations).(map[Key]stats.Welford)
+	merged := mpi.AllreduceMsg(c.internal, nominate, mergeNominations)
 	if len(merged) == 0 {
 		return
 	}
 	for key, w := range merged {
-		ks := p.kernel(key)
+		ks := p.stats(p.intern(key))
 		wc.ImportWelford(key, w)
 		if cov, ok := channel.Combine(ks.coverage, ch); ok {
 			ks.coverage = cov
@@ -62,8 +65,7 @@ func (p *Profiler) aggregateEager(c *Comm) {
 // mergeNominations folds nomination maps pairwise: the union of keys, with
 // Welford models merged so every rank ends up with the pooled sample set.
 // Pure: inputs are never mutated.
-func mergeNominations(a, b any) any {
-	ma, mb := a.(map[Key]stats.Welford), b.(map[Key]stats.Welford)
+func mergeNominations(ma, mb map[Key]stats.Welford) map[Key]stats.Welford {
 	if len(mb) == 0 {
 		return ma
 	}
@@ -83,8 +85,8 @@ func mergeNominations(a, b any) any {
 // propagated (and therefore switched off) on this rank.
 func (p *Profiler) PropagatedKernels() int {
 	n := 0
-	for _, ks := range p.k {
-		if ks.propagated {
+	for i := range p.k {
+		if p.k[i].propagated {
 			n++
 		}
 	}

@@ -80,6 +80,18 @@ type ProfileCarrier interface {
 	LoadPrior(prior *Profile)
 }
 
+// profileArchiver is the internal fast path behind StartConfig's archiving:
+// the live learned state merges straight into the profiler's archive,
+// skipping the intermediate Profile an ExportProfile + Merge round trip
+// would allocate every configuration.
+type profileArchiver interface {
+	// hasLiveState reports whether archiveInto would contribute anything.
+	hasLiveState() bool
+	// archiveInto merges the live state into dst, bit-identical to
+	// dst.Merge(ExportProfile()).
+	archiveInto(dst *Profile)
+}
+
 // ciMean is the paper's estimator: a Welford mean/variance accumulator per
 // kernel signature, the normal-theory confidence interval of Section III-A
 // for predictability, and (optionally) the per-routine-family log-log fit
@@ -99,6 +111,49 @@ type ciMean struct {
 	// priorProfile re-seeds the family models on Reset (Welford priors stay
 	// resident in prior and need no re-seeding).
 	priorProfile *Profile
+
+	// lastKey/lastW short-circuit the cur-map lookup for back-to-back
+	// queries of the same signature (Observe right after Predictable,
+	// tight kernel loops), skipping the Key hash. Invalidated whenever an
+	// entry pointer may change (Reset, ImportWelford).
+	lastKey   Key
+	lastW     *stats.Welford
+	lastValid bool
+
+	// slabs allocates live accumulators in fixed-size chunks that survive
+	// Reset: configurations churn through disjoint signature sets (tile
+	// sizes change), and per-key heap allocations would repay that churn
+	// every configuration. Chunks never move, so map-held pointers stay
+	// valid until Reset drops them.
+	slabs    [][]stats.Welford
+	slabUsed int // accumulators handed out from the current layout
+}
+
+// slabChunk is the accumulator chunk size (amortizes chunk headers without
+// holding large dead spans alive).
+const slabChunk = 128
+
+// newWelford hands out a zeroed accumulator from the slab.
+func (e *ciMean) newWelford() *stats.Welford {
+	chunk, idx := e.slabUsed/slabChunk, e.slabUsed%slabChunk
+	if chunk == len(e.slabs) {
+		e.slabs = append(e.slabs, make([]stats.Welford, slabChunk))
+	}
+	e.slabUsed++
+	w := &e.slabs[chunk][idx]
+	*w = stats.Welford{}
+	return w
+}
+
+// curOf returns the live accumulator for key (nil when none), through the
+// one-entry lookup cache.
+func (e *ciMean) curOf(key Key) *stats.Welford {
+	if e.lastValid && key == e.lastKey {
+		return e.lastW
+	}
+	w := e.cur[key]
+	e.lastKey, e.lastW, e.lastValid = key, w, true
+	return w
 }
 
 // NewCIMeanEstimator returns the built-in confidence-interval estimator the
@@ -120,15 +175,21 @@ func (e *ciMean) Name() string { return "ci-mean" }
 // prior layer the live accumulator is returned as-is, reproducing the
 // original hardwired path bit-for-bit.
 func (e *ciMean) model(key Key) stats.Welford {
-	w, hasPrior := e.prior[key]
-	cw, hasCur := e.cur[key]
-	if !hasPrior {
-		if hasCur {
+	cw := e.curOf(key)
+	if e.prior == nil {
+		if cw != nil {
 			return *cw
 		}
 		return stats.Welford{}
 	}
-	if hasCur {
+	w, hasPrior := e.prior[key]
+	if !hasPrior {
+		if cw != nil {
+			return *cw
+		}
+		return stats.Welford{}
+	}
+	if cw != nil {
 		w.Merge(*cw)
 	}
 	return w
@@ -139,10 +200,11 @@ func (e *ciMean) model(key Key) stats.Welford {
 // predictable computation-kernel model contributes its (flops, mean) point
 // to its routine family.
 func (e *ciMean) Observe(key Key, flops, dt, eps float64) {
-	w, ok := e.cur[key]
-	if !ok {
-		w = &stats.Welford{}
+	w := e.curOf(key)
+	if w == nil {
+		w = e.newWelford()
 		e.cur[key] = w
+		e.lastKey, e.lastW, e.lastValid = key, w, true
 	}
 	w.Add(dt)
 	if !e.extrapolate || key.Kind != KindComp || flops <= 0 {
@@ -194,9 +256,11 @@ func (e *ciMean) Extrapolate(key Key, flops, eps float64) (float64, bool) {
 // Reset implements Estimator: live models are discarded; the prior layer
 // (and prior-seeded family points) survive.
 func (e *ciMean) Reset() {
-	e.cur = make(map[Key]*stats.Welford)
+	clear(e.cur)
 	e.families = make(map[string]*familyModel)
 	e.pooled = nil
+	e.lastValid = false
+	e.slabUsed = 0 // all map-held slab pointers were just dropped
 	if e.priorProfile != nil {
 		e.seedFamilies(e.priorProfile)
 	}
@@ -220,6 +284,7 @@ func (e *ciMean) ExportWelford(key Key) (stats.Welford, bool) {
 func (e *ciMean) ImportWelford(key Key, w stats.Welford) {
 	cw := w
 	e.cur[key] = &cw
+	e.lastValid = false // the key's entry pointer just changed
 	if e.pooled == nil {
 		e.pooled = make(map[Key]bool)
 	}
@@ -259,6 +324,67 @@ func (e *ciMean) ExportProfile() *Profile {
 		p.Families[name] = Family{Points: pts}
 	}
 	return p
+}
+
+// hasLiveState implements profileArchiver.
+func (e *ciMean) hasLiveState() bool {
+	if len(e.cur) > 0 {
+		return true
+	}
+	for _, fm := range e.families {
+		if len(fm.points) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// archiveInto implements profileArchiver: the kernel and family loops of
+// Profile.Merge applied directly from the live maps. The merge direction
+// (archive-side accumulator first) matches Merge exactly, so the archived
+// moments are bit-identical to the ExportProfile + Merge path.
+func (e *ciMean) archiveInto(dst *Profile) {
+	for key, w := range e.cur {
+		if w.Count() == 0 {
+			continue
+		}
+		om := KernelModel{
+			Count: w.Count(), Mean: w.Mean(), M2: w.M2(),
+			Pooled: e.pooled[key],
+		}
+		if dst.Kernels == nil {
+			dst.Kernels = make(map[Key]KernelModel, len(e.cur))
+		}
+		km, ok := dst.Kernels[key]
+		if !ok {
+			dst.Kernels[key] = om
+			continue
+		}
+		wm := welfordOf(km)
+		wm.Merge(welfordOf(om))
+		dst.Kernels[key] = KernelModel{
+			Count: wm.Count(), Mean: wm.Mean(), M2: wm.M2(),
+			Pooled: km.Pooled || om.Pooled,
+		}
+	}
+	for name, fm := range e.families {
+		if len(fm.points) == 0 {
+			continue
+		}
+		pts := make([]FamilyPoint, 0, len(fm.points))
+		for _, pt := range fm.points {
+			pts = append(pts, FamilyPoint{Flops: pt.flops, Mean: pt.mean})
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Flops < pts[j].Flops })
+		if dst.Families == nil {
+			dst.Families = make(map[string]Family, len(e.families))
+		}
+		if fam, ok := dst.Families[name]; ok {
+			dst.Families[name] = Family{Points: mergePoints(fam.Points, pts)}
+		} else {
+			dst.Families[name] = Family{Points: pts}
+		}
+	}
 }
 
 // LoadPrior implements ProfileCarrier. Kernel models become the read-only

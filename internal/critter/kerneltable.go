@@ -1,0 +1,62 @@
+package critter
+
+import "sync"
+
+// KernelTable interns kernel signatures (Key) into dense uint32 ids. One
+// table is shared by every rank of a profiled world (rank 0 creates it
+// during Profiler construction and the others adopt it collectively), so a
+// kernel id means the same signature on every rank and path frequency
+// tables can travel between ranks as dense arrays instead of maps.
+//
+// Interning takes the write lock only the first time a signature is seen
+// anywhere in the world; each rank additionally keeps a private id cache
+// (Profiler.idOf) so the steady-state interception path touches no lock at
+// all. Ids are assigned in global first-seen order, which depends on
+// goroutine scheduling — nothing result-bearing may depend on id order, and
+// nothing does: ids never leave the process, and every boundary artifact
+// (PathFreqs, profiles, reports) is rekeyed by Key.
+type KernelTable struct {
+	mu   sync.RWMutex
+	ids  map[Key]uint32
+	keys []Key
+}
+
+// NewKernelTable returns an empty table.
+func NewKernelTable() *KernelTable {
+	return &KernelTable{ids: make(map[Key]uint32)}
+}
+
+// Intern returns the dense id of k, assigning the next free id on first
+// sight.
+func (t *KernelTable) Intern(k Key) uint32 {
+	t.mu.RLock()
+	id, ok := t.ids[k]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok = t.ids[k]; ok {
+		return id
+	}
+	id = uint32(len(t.keys))
+	t.ids[k] = id
+	t.keys = append(t.keys, k)
+	return id
+}
+
+// KeyOf returns the signature interned as id. It panics on an id the table
+// never assigned.
+func (t *KernelTable) KeyOf(id uint32) Key {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.keys[id]
+}
+
+// Len returns how many distinct signatures the table has interned.
+func (t *KernelTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.keys)
+}

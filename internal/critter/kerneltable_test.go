@@ -1,0 +1,65 @@
+package critter
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestKernelTableInterning covers the basic intern/resolve contract.
+func TestKernelTableInterning(t *testing.T) {
+	tab := NewKernelTable()
+	k1 := CompKey("gemm", 8, 8, 8, 0)
+	k2 := CommKey("bcast", 64, 8, 1)
+	id1 := tab.Intern(k1)
+	id2 := tab.Intern(k2)
+	if id1 == id2 {
+		t.Fatal("distinct keys interned to the same id")
+	}
+	if got := tab.Intern(k1); got != id1 {
+		t.Errorf("re-interning changed the id: %d vs %d", got, id1)
+	}
+	if tab.KeyOf(id1) != k1 || tab.KeyOf(id2) != k2 {
+		t.Error("KeyOf does not invert Intern")
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tab.Len())
+	}
+}
+
+// TestKernelTableConcurrentIntern hammers one shared table from many
+// goroutines (as the ranks of a world do) and checks every rank resolves
+// every key to one consistent id.
+func TestKernelTableConcurrentIntern(t *testing.T) {
+	tab := NewKernelTable()
+	const ranks, keys = 16, 200
+	ids := make([][]uint32, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ids[r] = make([]uint32, keys)
+			for i := 0; i < keys; i++ {
+				// Interleave orders per rank so assignment races happen.
+				i := (i*7 + r*13) % keys
+				ids[r][i] = tab.Intern(CompKey("k", i, 0, 0, 0))
+			}
+		}(r)
+	}
+	wg.Wait()
+	if tab.Len() != keys {
+		t.Fatalf("table interned %d keys, want %d", tab.Len(), keys)
+	}
+	for r := 1; r < ranks; r++ {
+		for i := 0; i < keys; i++ {
+			if ids[r][i] != ids[0][i] {
+				t.Fatalf("rank %d resolved key %d to id %d, rank 0 to %d", r, i, ids[r][i], ids[0][i])
+			}
+		}
+	}
+	for i := 0; i < keys; i++ {
+		if got := tab.KeyOf(ids[0][i]); got != CompKey("k", i, 0, 0, 0) {
+			t.Fatalf("KeyOf(%d) = %v, want key %d", ids[0][i], got, i)
+		}
+	}
+}

@@ -1,5 +1,92 @@
 package critter
 
+// kernelCounts is the path frequency table K-tilde as a dense array indexed
+// by KernelTable id, with copy-on-write sharing. Snapshotting for a
+// piggyback message freezes the backing array (O(1), no copy); the next
+// write by any holder first materializes a private copy (amortized O(active
+// kernels), one allocation). This replaces the map[Key]int64 clone the old
+// propagation path paid at every snapshot and adopt.
+type kernelCounts struct {
+	// vals[id] is the number of appearances of kernel id along the current
+	// sub-critical path. Indexed by the world's shared KernelTable.
+	vals []int64
+	// shared marks vals as aliased by a frozen snapshot (an in-flight
+	// message, or an adopted global table other ranks also hold): it must
+	// be treated as immutable and copied before the next write.
+	shared bool
+}
+
+// active reports whether the table is carried at all (policies that do not
+// propagate counts leave it nil).
+func (k *kernelCounts) active() bool { return k.vals != nil }
+
+// get returns kernel id's count (0 when never counted).
+func (k *kernelCounts) get(id uint32) int64 {
+	if int(id) >= len(k.vals) {
+		return 0
+	}
+	return k.vals[id]
+}
+
+// incr counts one appearance of kernel id, materializing a private copy
+// first when the backing array is frozen or too small.
+func (k *kernelCounts) incr(id uint32) {
+	if k.shared || int(id) >= len(k.vals) {
+		k.materialize(int(id) + 1)
+	}
+	k.vals[id]++
+}
+
+// materialize unshares the backing array and grows it to hold at least n
+// entries. Capacity doubles only when n actually outgrows it (repeated
+// interning settles into amortized O(1)); an unshare copy at unchanged size
+// keeps the same capacity.
+func (k *kernelCounts) materialize(n int) {
+	if n < len(k.vals) {
+		n = len(k.vals)
+	}
+	if !k.shared && n <= cap(k.vals) {
+		// Exclusively owned and big enough underneath: extend in place.
+		// The exposed tail is zero — backing arrays are allocated zeroed
+		// and never shrunk.
+		k.vals = k.vals[:n]
+		return
+	}
+	c := cap(k.vals)
+	if n > c {
+		c *= 2
+		if c < n {
+			c = n
+		}
+	}
+	if c < 16 {
+		c = 16
+	}
+	vals := make([]int64, n, c)
+	copy(vals, k.vals)
+	k.vals, k.shared = vals, false
+}
+
+// freeze marks the table shared and returns a snapshot aliasing the same
+// backing array. O(1); both the owner and the snapshot copy on their next
+// write.
+func (k *kernelCounts) freeze() kernelCounts {
+	k.shared = true
+	return kernelCounts{vals: k.vals, shared: true}
+}
+
+// reset clears every count for a new configuration, reusing the backing
+// array when it is exclusively owned (the allocation-lean steady state) and
+// replacing it when a frozen snapshot still aliases it.
+func (k *kernelCounts) reset() {
+	if k.shared {
+		k.vals = make([]int64, len(k.vals))
+		k.shared = false
+		return
+	}
+	clear(k.vals)
+}
+
 // Pathset is the per-rank container of critical-path costs (the pathset P of
 // Figure 2). ExecTime models the execution time along the rank's current
 // sub-critical path, including the model means of skipped kernels, so it is
@@ -18,27 +105,15 @@ type Pathset struct {
 	// Kernels is the path frequency table K-tilde: for each kernel, the
 	// number of appearances along the current sub-critical path. It is
 	// adopted wholesale from whichever rank owns the maximal ExecTime at
-	// each propagation point (Figure 2, lines 64-65). nil when the active
-	// policy does not propagate counts.
-	Kernels map[Key]int64
-}
-
-// clone returns a deep copy (the Kernels map is copied).
-func (ps Pathset) clone() Pathset {
-	out := ps
-	if ps.Kernels != nil {
-		out.Kernels = make(map[Key]int64, len(ps.Kernels))
-		for k, v := range ps.Kernels {
-			out.Kernels[k] = v
-		}
-	}
-	return out
+	// each propagation point (Figure 2, lines 64-65). Inactive (nil vals)
+	// when the active policy does not propagate counts.
+	Kernels kernelCounts
 }
 
 // mergePath combines two pathsets at a propagation point: metrics are
 // max-merged elementwise, and the frequency table of the path with the
 // larger ExecTime wins (the longest-path algorithm). Inputs are not
-// mutated; the returned Kernels map aliases the winning input's.
+// mutated; the returned table aliases the winning input's frozen array.
 func mergePath(a, b Pathset) Pathset {
 	out := Pathset{
 		ExecTime: max(a.ExecTime, b.ExecTime),
@@ -68,19 +143,21 @@ type intMsg struct {
 	// Committed marks nonblocking-send messages whose execution decision
 	// was made unilaterally by the sender; the receiver must follow it.
 	Committed bool
-	// Path is a snapshot of the sender's pathset; its Kernels map is
-	// owned by the message and must not be mutated.
+	// Path is a snapshot of the sender's pathset; its frequency table is
+	// frozen and must not be mutated.
 	Path Pathset
 }
 
 // mergeIntMsg folds internal messages during the profiler's internal
 // allreduce: any rank demanding execution forces it, and pathsets merge by
-// the longest-path rule.
-func mergeIntMsg(a, b any) any {
-	ma, mb := a.(intMsg), b.(intMsg)
+// the longest-path rule. Exec2 is merged too — today's allreduce path never
+// carries it (the combined Sendrecv protocol is a pairwise exchange), but a
+// lossy fold here would silently drop the receive vote if it ever did.
+func mergeIntMsg(a, b intMsg) intMsg {
 	return intMsg{
-		Exec:      ma.Exec || mb.Exec,
-		Committed: ma.Committed || mb.Committed,
-		Path:      mergePath(ma.Path, mb.Path),
+		Exec:      a.Exec || b.Exec,
+		Exec2:     a.Exec2 || b.Exec2,
+		Committed: a.Committed || b.Committed,
+		Path:      mergePath(a.Path, b.Path),
 	}
 }

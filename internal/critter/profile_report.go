@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"critter/internal/mpi"
 )
 
 // Critical-path kernel profiling output: the user-facing report of the
@@ -21,14 +23,19 @@ type KernelProfile struct {
 }
 
 // LocalProfile returns this rank's per-kernel path attribution, sorted by
-// descending path time.
+// descending path time. A kernel is on the rank's path this configuration
+// iff its local frequency count is nonzero.
 func (p *Profiler) LocalProfile() []KernelProfile {
 	out := make([]KernelProfile, 0, len(p.pathKernelTime))
-	for key, t := range p.pathKernelTime {
+	for id, freq := range p.localFreq {
+		if freq == 0 {
+			continue
+		}
+		key := p.keys[id]
 		kp := KernelProfile{
 			Key:       key,
-			PathTime:  t,
-			PathCount: p.path.Kernels[key],
+			PathTime:  p.pathKernelTime[id],
+			PathCount: p.path.Kernels.get(uint32(id)),
 			Mean:      p.est.Estimate(key),
 			Samples:   p.est.Samples(key),
 		}
@@ -56,14 +63,13 @@ type criticalProfileMsg struct {
 // table (treat it as read-only).
 func (p *Profiler) CriticalPathProfile() []KernelProfile {
 	msg := criticalProfileMsg{execTime: p.path.ExecTime, profile: p.LocalProfile()}
-	g := p.world.internal.AllreduceAny(msg, func(a, b any) any {
-		ma, mb := a.(criticalProfileMsg), b.(criticalProfileMsg)
-		if mb.execTime > ma.execTime {
-			return mb
+	g := mpi.AllreduceMsg(p.world.internal, msg, func(a, b criticalProfileMsg) criticalProfileMsg {
+		if b.execTime > a.execTime {
+			return b
 		}
-		return ma
+		return a
 	})
-	return g.(criticalProfileMsg).profile
+	return g.profile
 }
 
 // WriteProfile renders the top-k entries of a kernel profile as a table.

@@ -8,9 +8,17 @@ import (
 )
 
 // kernelStats is the per-rank execution bookkeeping of one kernel signature
-// (an entry of the set K in the paper's notation). The signature's duration
-// model itself lives in the rank's Estimator.
+// (an entry of the set K in the paper's notation), stored densely by
+// KernelTable id. The signature's duration model itself lives in the rank's
+// Estimator.
 type kernelStats struct {
+	// seen marks the slot as belonging to a signature this rank has
+	// actually profiled (dense storage leaves holes for ids interned only
+	// by other ranks).
+	seen bool
+	// propagated marks the kernel globally skippable under the eager
+	// policy: its statistics have covered the full processor grid.
+	propagated bool
 	// perConfig counts executions of the kernel during the current
 	// configuration; non-eager policies require at least one execution per
 	// tuning iteration before skipping (Section VI-A).
@@ -18,9 +26,6 @@ type kernelStats struct {
 	// coverage accumulates the aggregate channel over which this kernel's
 	// statistics have been propagated (eager policy).
 	coverage channel.Channel
-	// propagated marks the kernel globally skippable under the eager
-	// policy: its statistics have covered the full processor grid.
-	propagated bool
 }
 
 // Options configures a Profiler.
@@ -56,25 +61,53 @@ type Options struct {
 // Profiler is one rank's profiling state. Create one per rank with New,
 // which also wraps the rank's world communicator. All ranks must construct
 // their Profiler collectively (New performs communication).
+//
+// Kernel signatures are interned into dense ids through a KernelTable
+// shared by every rank of the world, so the per-invocation bookkeeping
+// (stats, path frequencies, local counts, path attribution) lives in flat
+// arrays instead of maps and pathsets propagate between ranks without
+// copying. Keys reappear only at the boundaries: the Estimator, profile
+// exports, and reports.
 type Profiler struct {
 	opts  Options
 	world *Comm
 	rank  int
 	psize int
 
-	k    map[Key]*kernelStats
-	path Pathset
+	// tab is the world-shared signature interner; idOf and keys are this
+	// rank's private caches of it (idOf avoids the table's lock on the
+	// steady-state path, keys resolves ids this rank interned itself).
+	tab  *KernelTable
+	idOf map[Key]uint32
+	keys []Key
+	// lastKey/lastID short-circuit intern for back-to-back invocations of
+	// the same kernel signature (the common case inside factorization
+	// loops), skipping the idOf hash.
+	lastKey   Key
+	lastID    uint32
+	lastValid bool
+
+	// k is the dense per-signature bookkeeping, indexed by kernel id;
+	// touched counts the seen entries (KernelCount).
+	k       []kernelStats
+	touched int
+	path    Pathset
 	// localFreq counts kernel appearances on this rank during the current
-	// configuration (the Local policy's frequency credit).
-	localFreq map[Key]int64
+	// configuration (the Local policy's frequency credit), densely by id.
+	localFreq []int64
 
 	// aggregates is the registry of aggregate channels (Figure 2, lines
 	// 16-25), keyed by hash, seeded with the world channel.
 	aggregates map[uint64]channel.Channel
 
 	// pathKernelTime attributes path time to kernels for the profiling
-	// report (profile_report.go).
-	pathKernelTime map[Key]float64
+	// report (profile_report.go), densely by id; an id is on this rank's
+	// path this configuration iff localFreq[id] > 0.
+	pathKernelTime []float64
+
+	// lane is the pre-resolved typed-message lane the piggyback protocol
+	// runs on (one fabric lookup at construction instead of per message).
+	lane mpi.Lane[intMsg]
 
 	// est is the rank's prediction model (estimator.go): kernel duration
 	// estimates, predictability decisions, and extrapolation.
@@ -97,15 +130,14 @@ type Profiler struct {
 }
 
 // New creates the rank's profiler and wraps its world communicator. It is
-// collective over world (an internal duplicate communicator is created for
-// piggyback traffic).
+// collective over world: an internal duplicate communicator is created for
+// piggyback traffic, and rank 0's KernelTable is adopted by every rank.
 func New(world *mpi.Comm, opts Options) (*Profiler, *Comm) {
 	p := &Profiler{
 		opts:       opts,
 		rank:       world.Rank(),
 		psize:      world.Size(),
-		k:          make(map[Key]*kernelStats),
-		localFreq:  make(map[Key]int64),
+		idOf:       make(map[Key]uint32),
 		aggregates: make(map[uint64]channel.Channel),
 	}
 	p.est = opts.Estimator
@@ -117,16 +149,24 @@ func New(world *mpi.Comm, opts Options) (*Profiler, *Comm) {
 			pc.LoadPrior(opts.Prior)
 		}
 	}
-	p.pathKernelTime = make(map[Key]float64)
-	p.path.Kernels = make(map[Key]int64)
 	ch, ok := channel.FromGroup(world.Group())
 	if ok {
 		p.aggregates[ch.Hash()] = ch
 	}
+	internal := world.Dup()
+	// Adopt one shared signature interner per world: rank 0 creates it,
+	// the gather (untimed, clock-neutral at construction) hands it to all.
+	var mine *KernelTable
+	if p.rank == 0 {
+		mine = NewKernelTable()
+	}
+	tabs := mpi.GatherMsgUntimed(internal, mine)
+	p.tab = tabs[0]
+	p.lane = mpi.LaneOf[intMsg](world.World())
 	cc := &Comm{
 		p:        p,
 		user:     world,
-		internal: world.Dup(),
+		internal: internal,
 		ch:       ch,
 		chOK:     ok,
 	}
@@ -146,19 +186,90 @@ func (p *Profiler) Estimator() Estimator { return p.est }
 // World returns the wrapped world communicator.
 func (p *Profiler) World() *Comm { return p.world }
 
-// kernel returns (creating if absent) the stats entry for key.
-func (p *Profiler) kernel(key Key) *kernelStats {
-	ks, ok := p.k[key]
-	if !ok {
-		ks = &kernelStats{}
-		p.k[key] = ks
+// Table returns the world-shared kernel-signature interner.
+func (p *Profiler) Table() *KernelTable { return p.tab }
+
+// intern resolves key's dense id through the rank-local cache, hitting the
+// shared table only on first sight.
+func (p *Profiler) intern(key Key) uint32 {
+	if p.lastValid && key == p.lastKey {
+		return p.lastID
+	}
+	if id, ok := p.idOf[key]; ok {
+		p.lastKey, p.lastID, p.lastValid = key, id, true
+		return id
+	}
+	id := p.tab.Intern(key)
+	p.idOf[key] = id
+	if n := int(id) + 1; n > len(p.keys) {
+		if n <= cap(p.keys) {
+			p.keys = p.keys[:n]
+		} else {
+			keys := make([]Key, n, growCap(n, cap(p.keys)))
+			copy(keys, p.keys)
+			p.keys = keys
+		}
+	}
+	p.keys[id] = key
+	p.lastKey, p.lastID, p.lastValid = key, id, true
+	return id
+}
+
+// growCap sizes a dense per-id table that must hold n entries: double the
+// outgrown capacity c, bounded below by n (and a small floor).
+func growCap(n, c int) int {
+	c *= 2
+	if c < n {
+		c = n
+	}
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// ensure grows the dense per-id bookkeeping tables to cover id.
+func (p *Profiler) ensure(id uint32) {
+	n := int(id) + 1
+	if n <= len(p.k) {
+		return
+	}
+	if n <= cap(p.k) {
+		// Backing arrays are allocated zeroed and cleared in place on
+		// reset, so extending within capacity exposes zero slots.
+		p.k = p.k[:n]
+		p.localFreq = p.localFreq[:n]
+		p.pathKernelTime = p.pathKernelTime[:n]
+		return
+	}
+	c := growCap(n, cap(p.k))
+	k := make([]kernelStats, n, c)
+	copy(k, p.k)
+	p.k = k
+	lf := make([]int64, n, c)
+	copy(lf, p.localFreq)
+	p.localFreq = lf
+	pkt := make([]float64, n, c)
+	copy(pkt, p.pathKernelTime)
+	p.pathKernelTime = pkt
+}
+
+// stats returns the bookkeeping slot for kernel id, marking it profiled.
+// The pointer is invalidated by the next ensure/stats call that grows the
+// tables; take all needed slots after a single ensure when holding two.
+func (p *Profiler) stats(id uint32) *kernelStats {
+	p.ensure(id)
+	ks := &p.k[id]
+	if !ks.seen {
+		ks.seen = true
+		p.touched++
 	}
 	return ks
 }
 
 // KernelCount returns the number of distinct kernel signatures profiled so
 // far on this rank.
-func (p *Profiler) KernelCount() int { return len(p.k) }
+func (p *Profiler) KernelCount() int { return p.touched }
 
 // Mean returns the modeled mean duration for key (0 if never sampled; a
 // warm-started estimator answers from its prior before the first sample).
@@ -167,29 +278,40 @@ func (p *Profiler) Mean(key Key) float64 { return p.est.Estimate(key) }
 // Samples returns the number of duration samples backing key's model.
 func (p *Profiler) Samples(key Key) int64 { return p.est.Samples(key) }
 
-// PathFreqs returns a copy of the rank's current path frequency table.
-func (p *Profiler) PathFreqs() map[Key]int64 {
-	out := make(map[Key]int64, len(p.path.Kernels))
-	for k, v := range p.path.Kernels {
-		out[k] = v
+// pathFreqMap rekeys a dense frequency table by Key for the map-facing
+// boundaries. Ids may have been interned by any rank, so the shared table
+// resolves them.
+func (p *Profiler) pathFreqMap(kc kernelCounts) map[Key]int64 {
+	out := make(map[Key]int64)
+	for id, v := range kc.vals {
+		if v != 0 {
+			out[p.tab.KeyOf(uint32(id))] = v
+		}
 	}
 	return out
 }
 
-// notePath records one appearance of key along the rank's execution path.
-func (p *Profiler) notePath(key Key) {
-	p.path.Kernels[key]++
-	p.localFreq[key]++
+// PathFreqs returns a copy of the rank's current path frequency table.
+func (p *Profiler) PathFreqs() map[Key]int64 {
+	return p.pathFreqMap(p.path.Kernels)
+}
+
+// notePath records one appearance of kernel id along the rank's execution
+// path. The caller has interned id on this rank (stats), so localFreq
+// covers it.
+func (p *Profiler) notePath(id uint32) {
+	p.path.Kernels.incr(id)
+	p.localFreq[id]++
 }
 
 // freqFor returns the execution-count credit the active policy grants when
 // sizing key's confidence interval.
-func (p *Profiler) freqFor(key Key) int64 {
+func (p *Profiler) freqFor(key Key, id uint32) int64 {
 	switch p.opts.Policy {
 	case Local:
-		return p.localFreq[key]
+		return p.localFreq[id]
 	case Online:
-		return p.path.Kernels[key]
+		return p.path.Kernels.get(id)
 	case APriori:
 		if f := p.opts.AprioriFreq[key]; f > 0 {
 			return f
@@ -203,7 +325,7 @@ func (p *Profiler) freqFor(key Key) int64 {
 // policies the kernel must have executed at least once this configuration
 // and is skipped only when predictable at tolerance Eps under the policy's
 // frequency credit.
-func (p *Profiler) shouldExecute(key Key, ks *kernelStats) bool {
+func (p *Profiler) shouldExecute(key Key, id uint32, ks *kernelStats) bool {
 	if p.opts.Eps <= 0 {
 		return true
 	}
@@ -213,7 +335,7 @@ func (p *Profiler) shouldExecute(key Key, ks *kernelStats) bool {
 	if ks.perConfig < 1 {
 		return true
 	}
-	return !p.est.Predictable(key, p.opts.Eps, p.freqFor(key))
+	return !p.est.Predictable(key, p.opts.Eps, p.freqFor(key, id))
 }
 
 // record incorporates one measured duration for key: the estimator observes
@@ -228,28 +350,29 @@ func (p *Profiler) record(key Key, ks *kernelStats, flops, dt float64) {
 	}
 }
 
-// snapshot captures the rank's pathset for an internal message. The
-// frequency table is deep-copied only under policies that propagate counts.
+// snapshot captures the rank's pathset for an internal message. Under
+// policies that propagate counts the frequency table is frozen in place
+// (copy-on-write; no copy is taken), otherwise the message carries none.
 func (p *Profiler) snapshot() Pathset {
 	ps := p.path
 	if p.opts.Policy == Online {
-		ps = p.path.clone()
+		ps.Kernels = p.path.Kernels.freeze()
 	} else {
-		ps.Kernels = nil
+		ps.Kernels = kernelCounts{}
 	}
 	return ps
 }
 
 // adopt installs the merged global pathset: metrics are already max-merged;
-// the frequency table, when propagated, replaces the local one (the local
-// path joins the global sub-critical path).
+// the frequency table, when propagated, replaces the local one wholesale
+// (the local path joins the global sub-critical path). The adopted table
+// stays frozen — other ranks alias it — and is copied lazily by the next
+// local count.
 func (p *Profiler) adopt(g Pathset) {
 	kernels := p.path.Kernels
-	if g.Kernels != nil {
-		kernels = make(map[Key]int64, len(g.Kernels))
-		for k, v := range g.Kernels {
-			kernels[k] = v
-		}
+	if g.Kernels.active() {
+		kernels = g.Kernels
+		kernels.shared = true
 	}
 	p.path = Pathset{
 		ExecTime: max(p.path.ExecTime, g.ExecTime),
@@ -269,15 +392,16 @@ func (p *Profiler) adopt(g Pathset) {
 // It returns the duration charged to the path.
 func (p *Profiler) Kernel(name string, d1, d2, d3, d4 int, flops float64, run func()) float64 {
 	key := CompKey(name, d1, d2, d3, d4)
-	ks := p.kernel(key)
-	p.notePath(key)
+	id := p.intern(key)
+	ks := p.stats(id)
+	p.notePath(id)
 	var dt float64
-	exec := p.shouldExecute(key, ks)
+	exec := p.shouldExecute(key, id, ks)
 	if exec && p.opts.Eps > 0 && flops > 0 {
 		// Line-fitting extension: an under-sampled signature may still
 		// be skipped when its routine family's fit is trustworthy.
 		if est, ok := p.est.Extrapolate(key, flops, p.opts.Eps); ok &&
-			!p.est.Predictable(key, p.opts.Eps, p.freqFor(key)) {
+			!p.est.Predictable(key, p.opts.Eps, p.freqFor(key, id)) {
 			exec = false
 			dt = est
 			p.extrapolatedSkips++
@@ -297,7 +421,7 @@ func (p *Profiler) Kernel(name string, d1, d2, d3, d4 int, flops float64, run fu
 	p.path.CompTime += dt
 	p.path.BSPComp += flops
 	p.volFlops += flops
-	p.pathKernelTime[key] += dt
+	p.pathKernelTime[id] += dt
 	return dt
 }
 
@@ -307,29 +431,62 @@ func (p *Profiler) Kernel(name string, d1, d2, d3, d4 int, flops float64, run fu
 // discarded (the paper resets statistics between configurations of SLATE's
 // and CANDMC's algorithms; eager propagation keeps its models to reuse them
 // across configurations). Collective over the world communicator.
+//
+// The dense per-id tables are cleared in place, so the steady state across
+// configurations allocates nothing.
 func (p *Profiler) StartConfig(resetStats bool) {
-	p.world.internal.GatherAnyUntimed(nil) // align ranks before resetting clocks
+	resetIDs := resetStats && p.opts.Policy != Eager
+	// Align ranks before resetting clocks; when the per-id bookkeeping is
+	// about to be discarded anyway, the same round distributes a fresh
+	// shared interner, so dense ids stay as compact as the configuration's
+	// active kernel set instead of accumulating across configurations
+	// (every copy-on-write snapshot copy is sized by the id high-water
+	// mark).
+	var freshTab *KernelTable
+	if resetIDs && p.rank == 0 {
+		freshTab = NewKernelTable()
+	}
+	tabs := mpi.GatherMsgUntimed(p.world.internal, freshTab)
 	p.world.user.ResetClock()
-	p.archivePathFreqs()
-	p.path = Pathset{Kernels: make(map[Key]int64)}
-	p.localFreq = make(map[Key]int64)
-	p.pathKernelTime = make(map[Key]float64)
+	p.archivePathFreqs() // resolves ids through the outgoing table
 	p.kernelTime, p.compKernelTime = 0, 0
 	p.volCommWords, p.volSync, p.volFlops = 0, 0, 0
 	p.executed, p.skipped = 0, 0
-	if resetStats && p.opts.Policy != Eager {
+	if resetIDs {
 		// Archive what the estimator learned before wiping it, so the
 		// run's exported profile spans every configuration. (Without a
 		// reset the live estimator state persists and is merged at export
 		// time instead — archiving it here would double-count samples.)
 		p.archiveEstimator()
-		p.k = make(map[Key]*kernelStats)
 		p.est.Reset()
 		p.extrapolatedSkips = 0
-	} else {
-		for _, ks := range p.k {
-			ks.perConfig = 0
-		}
+		// Adopt the fresh interner and empty the per-id tables down to
+		// zero length (capacity kept) so they regrow to the new, compact
+		// id range.
+		p.tab = tabs[0]
+		clear(p.idOf)
+		p.lastValid = false
+		clear(p.keys)
+		p.keys = p.keys[:0]
+		clear(p.k)
+		p.k = p.k[:0]
+		p.touched = 0
+		clear(p.localFreq)
+		p.localFreq = p.localFreq[:0]
+		clear(p.pathKernelTime)
+		p.pathKernelTime = p.pathKernelTime[:0]
+		kc := p.path.Kernels
+		kc.reset()
+		p.path = Pathset{Kernels: kernelCounts{vals: kc.vals[:0]}}
+		return
+	}
+	kc := p.path.Kernels
+	kc.reset()
+	p.path = Pathset{Kernels: kc}
+	clear(p.localFreq)
+	clear(p.pathKernelTime)
+	for i := range p.k {
+		p.k[i].perConfig = 0
 	}
 }
 
@@ -368,20 +525,44 @@ type Report struct {
 	Skipped       int64   // total kernel skips across ranks
 }
 
-// Report gathers the configuration summary; collective over world.
-func (p *Profiler) Report() Report {
-	in := []float64{
-		p.path.ExecTime, p.path.CompTime, p.path.CommTime,
-		p.path.BSPComm, p.path.BSPSync, p.path.BSPComp,
-		p.world.user.Clock(), p.kernelTime, p.compKernelTime,
+// reportMsg carries one rank's report contributions through the single
+// fused reduction round: maxes reduce elementwise by max, sums by +.
+type reportMsg struct {
+	maxes [9]float64
+	sums  [5]float64
+}
+
+// mergeReport folds report contributions in comm-rank order — elementwise
+// max and left-to-right sums, the exact fold the former pair of untimed
+// allreduces performed.
+func mergeReport(a, b reportMsg) reportMsg {
+	for i := range a.maxes {
+		a.maxes[i] = max(a.maxes[i], b.maxes[i])
 	}
-	maxes := make([]float64, len(in))
-	p.world.internal.AllreduceUntimed(in, maxes, mpi.OpMax)
-	sums := make([]float64, 5)
-	p.world.internal.AllreduceUntimed([]float64{
-		p.volCommWords, p.volSync, p.volFlops,
-		float64(p.executed), float64(p.skipped),
-	}, sums, mpi.OpSum)
+	for i := range a.sums {
+		a.sums[i] += b.sums[i]
+	}
+	return a
+}
+
+// Report gathers the configuration summary; collective over world. The max
+// and sum reductions share one untimed round (clock- and noise-neutral:
+// untimed rounds advance every rank to the same entry maximum and draw no
+// randomness, so fusing them leaves virtual time bit-identical).
+func (p *Profiler) Report() Report {
+	local := reportMsg{
+		maxes: [9]float64{
+			p.path.ExecTime, p.path.CompTime, p.path.CommTime,
+			p.path.BSPComm, p.path.BSPSync, p.path.BSPComp,
+			p.world.user.Clock(), p.kernelTime, p.compKernelTime,
+		},
+		sums: [5]float64{
+			p.volCommWords, p.volSync, p.volFlops,
+			float64(p.executed), float64(p.skipped),
+		},
+	}
+	g := mpi.AllreduceMsg(p.world.internal, local, mergeReport)
+	maxes, sums := g.maxes, g.sums
 	fp := float64(p.psize)
 	return Report{
 		Predicted:     maxes[0],
@@ -406,36 +587,57 @@ func (p *Profiler) Report() Report {
 // (the configuration's critical path). Collective over world. Used to seed
 // the APriori policy.
 func (p *Profiler) GlobalPathFreqs() map[Key]int64 {
-	snap := p.path.clone()
-	g := p.world.internal.AllreduceAny(intMsg{Path: snap}, mergeIntMsg).(intMsg)
-	out := make(map[Key]int64, len(g.Path.Kernels))
-	for k, v := range g.Path.Kernels {
-		out[k] = v
-	}
-	return out
+	ps := p.path
+	ps.Kernels = p.path.Kernels.freeze()
+	g := p.lane.Allreduce(p.world.internal, intMsg{Path: ps}, mergeIntMsg)
+	return p.pathFreqMap(g.Path.Kernels)
 }
 
 // archivePathFreqs max-merges the configuration's path frequency table into
 // the archive before StartConfig resets the pathset.
 func (p *Profiler) archivePathFreqs() {
-	if len(p.path.Kernels) == 0 {
+	freqs := p.path.Kernels
+	if !freqs.active() {
 		return
 	}
-	if p.archive == nil {
-		p.archive = &Profile{SchemaVersion: ProfileSchemaVersion}
-	}
-	if p.archive.PathFreqs == nil {
-		p.archive.PathFreqs = make(map[Key]int64, len(p.path.Kernels))
-	}
-	for k, v := range p.path.Kernels {
-		p.archive.PathFreqs[k] = max(p.archive.PathFreqs[k], v)
+	archived := false
+	for id, v := range freqs.vals {
+		if v == 0 {
+			continue
+		}
+		if !archived {
+			archived = true
+			if p.archive == nil {
+				p.archive = &Profile{SchemaVersion: ProfileSchemaVersion}
+			}
+			if p.archive.PathFreqs == nil {
+				p.archive.PathFreqs = make(map[Key]int64)
+			}
+		}
+		key := p.tab.KeyOf(uint32(id))
+		p.archive.PathFreqs[key] = max(p.archive.PathFreqs[key], v)
 	}
 }
 
 // archiveEstimator merges the estimator's current export into the archive;
 // called only when the estimator is about to be reset, so no sample is ever
-// archived twice.
+// archived twice. Estimators implementing profileArchiver (the built-in
+// one) merge directly into the archive, skipping the intermediate export
+// profile this would otherwise build every configuration.
 func (p *Profiler) archiveEstimator() {
+	if a, ok := p.est.(profileArchiver); ok {
+		if !a.hasLiveState() {
+			return
+		}
+		if p.archive == nil {
+			p.archive = &Profile{SchemaVersion: ProfileSchemaVersion}
+		}
+		a.archiveInto(p.archive)
+		if p.archive.Estimator == "" {
+			p.archive.Estimator = p.est.Name()
+		}
+		return
+	}
 	pc, ok := p.est.(ProfileCarrier)
 	if !ok {
 		return
@@ -467,23 +669,34 @@ func (p *Profiler) ExportProfile() *Profile {
 	if out.Estimator == "" {
 		out.Estimator = p.est.Name()
 	}
-	if len(p.path.Kernels) > 0 && out.PathFreqs == nil {
-		out.PathFreqs = make(map[Key]int64, len(p.path.Kernels))
-	}
-	for k, v := range p.path.Kernels {
-		out.PathFreqs[k] = max(out.PathFreqs[k], v)
+	for id, v := range p.path.Kernels.vals {
+		if v == 0 {
+			continue
+		}
+		if out.PathFreqs == nil {
+			out.PathFreqs = make(map[Key]int64)
+		}
+		key := p.tab.KeyOf(uint32(id))
+		out.PathFreqs[key] = max(out.PathFreqs[key], v)
 	}
 	return out
 }
 
 // GlobalProfile merges every rank's exported profile into one artifact,
-// identical on every rank. Collective over the world communicator; the
-// result must be treated as read-only (it is shared across ranks).
+// identical on every rank. Collective over the world communicator. Each
+// rank folds the gathered exports itself — one clone then in-place merges,
+// instead of a clone per fold step — in comm-rank order, so every rank
+// computes the identical artifact.
 func (p *Profiler) GlobalProfile() *Profile {
-	g := p.world.internal.AllreduceAny(p.ExportProfile(), func(a, b any) any {
-		return mergeProfilesSameRun(a.(*Profile), b.(*Profile))
-	})
-	return g.(*Profile)
+	profs := mpi.GatherMsgUntimed(p.world.internal, p.ExportProfile())
+	out := profs[0].Clone()
+	if out == nil {
+		out = &Profile{SchemaVersion: ProfileSchemaVersion}
+	}
+	for _, o := range profs[1:] {
+		out.merge(o, true)
+	}
+	return out
 }
 
 // registerChannel records a newly created communicator's channel and
@@ -529,5 +742,5 @@ func (p *Profiler) HasFullGridAggregate() bool {
 
 func (p *Profiler) String() string {
 	return fmt.Sprintf("critter.Profiler{rank=%d, policy=%s, eps=%g, kernels=%d}",
-		p.rank, p.opts.Policy, p.opts.Eps, len(p.k))
+		p.rank, p.opts.Policy, p.opts.Eps, p.touched)
 }

@@ -29,49 +29,13 @@ func (op ReduceOp) apply(acc, x float64) float64 {
 	panic(fmt.Sprintf("mpi: unknown reduce op %d", op))
 }
 
-// gatherRound synchronizes all communicator members at a collective point,
-// depositing payload and returning every member's payload (indexed by comm
-// rank), the maximum participant clock, and the round's sequence number.
-// Payloads are shared across ranks after the round: treat them as immutable.
-func (c *Comm) gatherRound(payload any, _ int) ([]any, uint64) {
-	payloads, _, seq := c.gatherRoundT(payload)
-	return payloads, seq
-}
-
-func (c *Comm) gatherRoundT(payload any) ([]any, float64, uint64) {
-	seq := c.collSeq
-	c.collSeq++
-	key := roundKey{c.ctx, seq}
-	w := c.w
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.checkAbortLocked()
-	rd := w.roundLocked(key, len(c.group))
-	rd.payloads[c.rank] = payload
-	rd.clocks[c.rank] = c.state.clock.Now()
-	rd.arrived++
-	if rd.arrived == len(c.group) {
-		maxT := rd.clocks[0]
-		for _, t := range rd.clocks[1:] {
-			if t > maxT {
-				maxT = t
-			}
-		}
-		rd.maxT = maxT
-		rd.done = true
-		w.cond.Broadcast()
-	}
-	for !rd.done {
-		w.checkAbortLocked()
-		w.cond.Wait()
-	}
-	w.checkAbortLocked()
-	payloads, maxT := rd.payloads, rd.maxT
-	rd.departed++
-	if rd.departed == len(c.group) {
-		delete(w.rounds, key)
-	}
-	return payloads, maxT, seq
+// gatherData synchronizes all communicator members at a data collective
+// point, depositing payload and returning every member's payload (indexed
+// by comm rank), the maximum participant clock, and the round's sequence
+// number. Payloads are shared across ranks after the round: treat them as
+// immutable.
+func (c *Comm) gatherData(payload []float64) ([][]float64, float64, uint64) {
+	return c.w.dataFab.gatherRound(c, payload)
 }
 
 // collKind distinguishes cost shapes of the collectives.
@@ -123,7 +87,7 @@ func (c *Comm) finishColl(maxT float64, kind collKind, nbytes float64, seq uint6
 
 // Barrier blocks until all members arrive and synchronizes virtual clocks.
 func (c *Comm) Barrier() float64 {
-	_, maxT, seq := c.gatherRoundT(nil)
+	_, maxT, seq := c.gatherData(nil)
 	return c.finishColl(maxT, collSync, 0, seq)
 }
 
@@ -131,12 +95,12 @@ func (c *Comm) Barrier() float64 {
 // equal-length buffers.
 func (c *Comm) Bcast(root int, buf []float64) float64 {
 	c.checkPeer(root)
-	var payload any
+	var payload []float64
 	if c.rank == root {
 		payload = append([]float64(nil), buf...)
 	}
-	payloads, maxT, seq := c.gatherRoundT(payload)
-	src := payloads[root].([]float64)
+	payloads, maxT, seq := c.gatherData(payload)
+	src := payloads[root]
 	if len(src) != len(buf) {
 		panic(fmt.Sprintf("mpi: bcast length mismatch: root has %d, rank %d has %d", len(src), c.rank, len(buf)))
 	}
@@ -150,7 +114,7 @@ func (c *Comm) Bcast(root int, buf []float64) float64 {
 // out is only written at root and must not alias in there.
 func (c *Comm) Reduce(root int, in, out []float64, op ReduceOp) float64 {
 	c.checkPeer(root)
-	payloads, maxT, seq := c.gatherRoundT(append([]float64(nil), in...))
+	payloads, maxT, seq := c.gatherData(append([]float64(nil), in...))
 	if c.rank == root {
 		reduceInto(out, payloads, op)
 	}
@@ -160,19 +124,18 @@ func (c *Comm) Reduce(root int, in, out []float64, op ReduceOp) float64 {
 // Allreduce combines every member's in elementwise with op into every
 // member's out.
 func (c *Comm) Allreduce(in, out []float64, op ReduceOp) float64 {
-	payloads, maxT, seq := c.gatherRoundT(append([]float64(nil), in...))
+	payloads, maxT, seq := c.gatherData(append([]float64(nil), in...))
 	reduceInto(out, payloads, op)
 	return c.finishColl(maxT, collTree, float64(8*len(in)), seq)
 }
 
-func reduceInto(out []float64, payloads []any, op ReduceOp) {
-	first := payloads[0].([]float64)
+func reduceInto(out []float64, payloads [][]float64, op ReduceOp) {
+	first := payloads[0]
 	if len(out) != len(first) {
 		panic(fmt.Sprintf("mpi: reduce length mismatch: out %d, in %d", len(out), len(first)))
 	}
 	copy(out, first)
-	for _, p := range payloads[1:] {
-		v := p.([]float64)
+	for _, v := range payloads[1:] {
 		for i, x := range v {
 			out[i] = op.apply(out[i], x)
 		}
@@ -182,7 +145,7 @@ func reduceInto(out []float64, payloads []any, op ReduceOp) {
 // Allgather concatenates every member's in (all of equal length) into out in
 // comm-rank order; len(out) must be len(in)*Size().
 func (c *Comm) Allgather(in, out []float64) float64 {
-	payloads, maxT, seq := c.gatherRoundT(append([]float64(nil), in...))
+	payloads, maxT, seq := c.gatherData(append([]float64(nil), in...))
 	c.concatInto(out, payloads, len(in))
 	return c.finishColl(maxT, collVol, float64(8*len(in)*(len(c.group)-1)), seq)
 }
@@ -190,7 +153,7 @@ func (c *Comm) Allgather(in, out []float64) float64 {
 // Gather concatenates every member's in into root's out.
 func (c *Comm) Gather(root int, in, out []float64) float64 {
 	c.checkPeer(root)
-	payloads, maxT, seq := c.gatherRoundT(append([]float64(nil), in...))
+	payloads, maxT, seq := c.gatherData(append([]float64(nil), in...))
 	if c.rank == root {
 		c.concatInto(out, payloads, len(in))
 	}
@@ -201,12 +164,12 @@ func (c *Comm) Gather(root int, in, out []float64) float64 {
 // segment to comm rank i's out.
 func (c *Comm) Scatter(root int, in, out []float64) float64 {
 	c.checkPeer(root)
-	var payload any
+	var payload []float64
 	if c.rank == root {
 		payload = append([]float64(nil), in...)
 	}
-	payloads, maxT, seq := c.gatherRoundT(payload)
-	full := payloads[root].([]float64)
+	payloads, maxT, seq := c.gatherData(payload)
+	full := payloads[root]
 	n := len(out)
 	if n*len(c.group) != len(full) {
 		panic(fmt.Sprintf("mpi: scatter length mismatch: in %d, out %d x %d ranks", len(full), n, len(c.group)))
@@ -215,12 +178,11 @@ func (c *Comm) Scatter(root int, in, out []float64) float64 {
 	return c.finishColl(maxT, collVol, float64(8*n*(len(c.group)-1)), seq)
 }
 
-func (c *Comm) concatInto(out []float64, payloads []any, n int) {
+func (c *Comm) concatInto(out []float64, payloads [][]float64, n int) {
 	if len(out) != n*len(c.group) {
 		panic(fmt.Sprintf("mpi: gather length mismatch: out %d, want %d", len(out), n*len(c.group)))
 	}
-	for r, p := range payloads {
-		v := p.([]float64)
+	for r, v := range payloads {
 		if len(v) != n {
 			panic(fmt.Sprintf("mpi: gather ragged input: rank %d has %d, want %d", r, len(v), n))
 		}
@@ -228,37 +190,12 @@ func (c *Comm) concatInto(out []float64, payloads []any, n int) {
 	}
 }
 
-// AllreduceAny folds every member's payload with merge (in comm-rank order)
-// and returns the result to all members. Clocks are synchronized to the
-// maximum participant time but no transfer cost is charged: this is the
-// profiler's internal coordination primitive (the PMPI_Allreduce with a
-// custom operator in Figure 2 of the paper). merge must be pure; the result
-// is shared across ranks and must be treated as immutable.
-func (c *Comm) AllreduceAny(payload any, merge func(a, b any) any) any {
-	payloads, maxT, _ := c.gatherRoundT(payload)
-	acc := payloads[0]
-	for _, p := range payloads[1:] {
-		acc = merge(acc, p)
-	}
-	c.state.clock.AdvanceTo(maxT)
-	return acc
-}
-
 // AllreduceUntimed combines every member's in elementwise with op into
 // every member's out, synchronizing clocks to the maximum participant time
 // without charging transfer cost. Used for profiler bookkeeping reductions
 // whose overhead the paper treats as negligible.
 func (c *Comm) AllreduceUntimed(in, out []float64, op ReduceOp) {
-	payloads, maxT, _ := c.gatherRoundT(append([]float64(nil), in...))
+	payloads, maxT, _ := c.gatherData(append([]float64(nil), in...))
 	reduceInto(out, payloads, op)
 	c.state.clock.AdvanceTo(maxT)
-}
-
-// GatherAnyUntimed returns every member's payload indexed by comm rank,
-// synchronizing clocks to the max participant time without charging cost.
-// Used by the profiler for aggregate-channel construction.
-func (c *Comm) GatherAnyUntimed(payload any) []any {
-	payloads, maxT, _ := c.gatherRoundT(payload)
-	c.state.clock.AdvanceTo(maxT)
-	return payloads
 }

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"critter/internal/sim"
@@ -81,23 +82,25 @@ func (c *Comm) ComputeTime(flops float64) float64 {
 // communicator. Ranks passing negative colors receive nil (MPI_UNDEFINED).
 // Split is collective over the parent communicator.
 func (c *Comm) Split(color, key int) *Comm {
-	type ckr struct{ color, key, parentRank, worldRank int }
-	all, seq := c.gatherRound(ckr{color, key, c.rank, c.state.worldRank}, 0)
-	mine := make([]ckr, 0, len(all))
-	for _, a := range all {
-		e := a.(ckr)
+	all, _, seq := fabricOf[splitRecord](c.w).gatherRound(c,
+		splitRecord{color, key, c.rank, c.state.worldRank})
+	mine := c.state.splitScratch[:0]
+	for _, e := range all {
 		if e.color == color {
 			mine = append(mine, e)
 		}
 	}
+	c.state.splitScratch = mine
 	if color < 0 {
 		return nil
 	}
-	sort.Slice(mine, func(i, j int) bool {
-		if mine[i].key != mine[j].key {
-			return mine[i].key < mine[j].key
+	// Parent ranks are distinct, so the (key, parentRank) order is total
+	// and any comparison sort yields the same permutation.
+	slices.SortFunc(mine, func(a, b splitRecord) int {
+		if a.key != b.key {
+			return a.key - b.key
 		}
-		return mine[i].parentRank < mine[j].parentRank
+		return a.parentRank - b.parentRank
 	})
 	group := make([]int, len(mine))
 	myRank := -1
@@ -119,11 +122,14 @@ func (c *Comm) Split(color, key int) *Comm {
 	}
 }
 
+// splitRecord is the (color, key) deposit of one rank in a Split round.
+type splitRecord struct{ color, key, parentRank, worldRank int }
+
 // Dup returns a new communicator with the same group but a distinct matching
 // context. Dup is collective; it is used by the profiler to keep internal
 // traffic from colliding with application messages.
 func (c *Comm) Dup() *Comm {
-	_, seq := c.gatherRound(nil, 0)
+	_, _, seq := fabricOf[struct{}](c.w).gatherRound(c, struct{}{})
 	ctx := sim.Mix(c.ctx, seq, 0xd0bb1e)
 	return &Comm{
 		w:     c.w,

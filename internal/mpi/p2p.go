@@ -1,6 +1,90 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// BufPool recycles data-plane payload buffers ([]float64) across messages.
+// Buffers are filed by power-of-two size class; Get and Put are safe for
+// concurrent use (each class holds its freelist under its own mutex, so a
+// put never allocates — unlike sync.Pool, whose interface conversion would
+// box every slice header). One pool may serve many worlds over its lifetime
+// — the sweep executor threads one per worker so consecutive sweeps reuse
+// each other's buffers instead of reallocating the same tile-sized payloads
+// thousands of times.
+type BufPool struct {
+	classes [31]bufClass
+}
+
+// bufClass is one size class's freelist.
+type bufClass struct {
+	mu   sync.Mutex
+	free [][]float64
+}
+
+// maxPooledPerClass bounds each class's freelist; beyond it buffers fall to
+// the garbage collector (a world's in-flight message population is small,
+// so the bound only matters after pathological bursts).
+const maxPooledPerClass = 256
+
+// NewBufPool returns an empty pool.
+func NewBufPool() *BufPool { return &BufPool{} }
+
+// sizeClass returns the smallest c with n <= 1<<c.
+func sizeClass(n int) int { return bits.Len(uint(n - 1)) }
+
+// Get returns a length-n buffer with unspecified contents.
+func (p *BufPool) Get(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if c >= len(p.classes) {
+		return make([]float64, n)
+	}
+	cl := &p.classes[c]
+	cl.mu.Lock()
+	if k := len(cl.free); k > 0 {
+		b := cl.free[k-1]
+		cl.free = cl.free[:k-1]
+		cl.mu.Unlock()
+		return b[:n]
+	}
+	cl.mu.Unlock()
+	return make([]float64, n, 1<<c)
+}
+
+// Put recycles b. The buffer is filed under the largest power-of-two class
+// its capacity fully covers, so a later Get never reslices past capacity.
+func (p *BufPool) Put(b []float64) {
+	if p == nil || cap(b) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(b))) - 1
+	if c >= len(p.classes) {
+		return
+	}
+	cl := &p.classes[c]
+	cl.mu.Lock()
+	if len(cl.free) < maxPooledPerClass {
+		cl.free = append(cl.free, b[:0])
+	}
+	cl.mu.Unlock()
+}
+
+// copyPayload captures a data payload for an in-flight message, drawing
+// from the world's buffer pool when one is installed. The second result
+// reports pool ownership (the receiver recycles it after copying out).
+func (w *World) copyPayload(buf []float64) ([]float64, bool) {
+	if w.bufs == nil || len(buf) == 0 {
+		return append([]float64(nil), buf...), false
+	}
+	data := w.bufs.Get(len(buf))
+	copy(data, buf)
+	return data, true
+}
 
 // Send transmits a copy of buf to peer dest under tag. Sends are buffered
 // (they never block on the receiver), matching MPI's eager protocol: the
@@ -10,18 +94,18 @@ import "fmt"
 func (c *Comm) Send(dest, tag int, buf []float64) float64 {
 	c.checkPeer(dest)
 	m := c.w.machine
-	bytes := 8 * len(buf)
-	dt := m.PtToPtTime(bytes) * m.Noise(c.state.rng)
+	nbytes := 8 * len(buf)
+	dt := m.PtToPtTime(nbytes) * m.Noise(c.state.rng)
 	c.state.clock.Advance(dt)
-	data := append([]float64(nil), buf...)
-	c.post(&message{
-		ctx:    c.ctx,
-		src:    c.rank,
-		tag:    tag,
-		data:   data,
-		bytes:  bytes,
-		arrive: c.state.clock.Now() + m.Alpha,
-	}, dest)
+	data, pooled := c.w.copyPayload(buf)
+	c.w.dataFab.post(c.group[dest], fmsg[[]float64]{
+		ctx:     c.ctx,
+		src:     c.rank,
+		tag:     tag,
+		payload: data,
+		pooled:  pooled,
+		arrive:  c.state.clock.Now() + m.Alpha,
+	})
 	return dt
 }
 
@@ -32,12 +116,15 @@ func (c *Comm) Send(dest, tag int, buf []float64) float64 {
 // time).
 func (c *Comm) Recv(src, tag int, buf []float64) float64 {
 	c.checkPeer(src)
-	msg := c.match(src, tag)
-	if len(msg.data) != len(buf) {
+	msg := c.w.dataFab.match(c, src, tag)
+	if len(msg.payload) != len(buf) {
 		panic(fmt.Sprintf("mpi: recv length mismatch: posted %d, message %d (src %d tag %d)",
-			len(buf), len(msg.data), src, tag))
+			len(buf), len(msg.payload), src, tag))
 	}
-	copy(buf, msg.data)
+	copy(buf, msg.payload)
+	if msg.pooled {
+		c.w.bufs.Put(msg.payload)
+	}
 	before := c.state.clock.Now()
 	c.state.clock.AdvanceTo(msg.arrive)
 	return c.state.clock.Now() - before
@@ -61,25 +148,31 @@ type Request struct {
 	done   bool
 }
 
+// completedSend is the request every Isend returns: the payload is captured
+// at issue time, so the operation is already complete and the handle is
+// immutable (Wait only reads done). Sharing one saves an allocation per
+// nonblocking send.
+var completedSend = &Request{isSend: true, done: true}
+
 // Isend starts a nonblocking send. The payload is captured immediately (the
 // caller may reuse buf); the sender is charged only the latency alpha, with
 // the transfer cost reflected in the message arrival time.
 func (c *Comm) Isend(dest, tag int, buf []float64) *Request {
 	c.checkPeer(dest)
 	m := c.w.machine
-	bytes := 8 * len(buf)
-	cost := m.PtToPtTime(bytes) * m.Noise(c.state.rng)
+	nbytes := 8 * len(buf)
+	cost := m.PtToPtTime(nbytes) * m.Noise(c.state.rng)
 	c.state.clock.Advance(m.Alpha)
-	data := append([]float64(nil), buf...)
-	c.post(&message{
-		ctx:    c.ctx,
-		src:    c.rank,
-		tag:    tag,
-		data:   data,
-		bytes:  bytes,
-		arrive: c.state.clock.Now() + cost,
-	}, dest)
-	return &Request{c: c, isSend: true, done: true}
+	data, pooled := c.w.copyPayload(buf)
+	c.w.dataFab.post(c.group[dest], fmsg[[]float64]{
+		ctx:     c.ctx,
+		src:     c.rank,
+		tag:     tag,
+		payload: data,
+		pooled:  pooled,
+		arrive:  c.state.clock.Now() + cost,
+	})
+	return completedSend
 }
 
 // Irecv posts a nonblocking receive; the match occurs when Wait is called.
@@ -108,67 +201,5 @@ func Waitall(reqs []*Request) {
 		if r != nil {
 			r.Wait()
 		}
-	}
-}
-
-// SendAny transmits an arbitrary payload to dest under tag without advancing
-// any virtual clock. It exists for the profiler's internal piggyback
-// messages, whose overhead the paper treats as negligible. The payload is
-// not copied; it must be treated as immutable after sending.
-func (c *Comm) SendAny(dest, tag int, payload any) {
-	c.checkPeer(dest)
-	c.post(&message{
-		ctx:    c.ctx,
-		src:    c.rank,
-		tag:    tag,
-		any:    payload,
-		arrive: c.state.clock.Now(),
-	}, dest)
-}
-
-// RecvAny blocks for an internal payload from src under tag. Clocks are not
-// advanced.
-func (c *Comm) RecvAny(src, tag int) any {
-	c.checkPeer(src)
-	msg := c.match(src, tag)
-	return msg.any
-}
-
-// ExchangeAny sends payload to peer and receives the peer's payload, both
-// untimed. Both sides must call it. It is the runtime's analogue of the
-// internal PMPI_Sendrecv in Figure 2 of the paper.
-func (c *Comm) ExchangeAny(peer, tag int, payload any) any {
-	c.SendAny(peer, tag, payload)
-	return c.RecvAny(peer, tag)
-}
-
-// post delivers msg to the destination comm-rank's mailbox.
-func (c *Comm) post(msg *message, dest int) {
-	w := c.w
-	worldDest := c.group[dest]
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.checkAbortLocked()
-	box := w.boxes[worldDest]
-	box.queue = append(box.queue, msg)
-	w.cond.Broadcast()
-}
-
-// match blocks until a message with (ctx, src, tag) is present in this
-// rank's mailbox and removes it (FIFO among equals).
-func (c *Comm) match(src, tag int) *message {
-	w := c.w
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	box := w.boxes[c.state.worldRank]
-	for {
-		w.checkAbortLocked()
-		for i, m := range box.queue {
-			if m.ctx == c.ctx && m.src == src && m.tag == tag {
-				box.queue = append(box.queue[:i], box.queue[i+1:]...)
-				return m
-			}
-		}
-		w.cond.Wait()
 	}
 }

@@ -12,13 +12,19 @@
 // libraries: blocking and nonblocking point-to-point (Send, Recv, Sendrecv,
 // Isend, Irecv, Wait), the collectives Bcast, Reduce, Allreduce, Allgather,
 // Gather, Scatter, Barrier, and communicator construction via Split and Dup.
-// Payloads are []float64 (application data) or arbitrary values via the
-// *Any variants (used by the profiler's internal piggyback messages).
+// Payloads are []float64 (application data) or typed values via the generic
+// message core (SendMsg and friends, used by the profiler's internal
+// piggyback messages); the *Any variants remain as thin untyped wrappers.
+//
+// All traffic runs on sharded typed fabrics (fabric.go): one mailbox lock
+// per destination rank and a fixed set of collective-round shards per
+// payload type, with no world-global lock on any communication path.
 package mpi
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"critter/internal/sim"
 )
@@ -27,67 +33,54 @@ import (
 // so a single failure cannot deadlock the remaining ranks.
 var ErrAborted = fmt.Errorf("mpi: world aborted due to failure on another rank")
 
-// World is a set of P ranks sharing a machine model and a mailbox fabric.
-// Create one with NewWorld and run an SPMD program with Run.
+// World is a set of P ranks sharing a machine model and a message fabric
+// per payload type. Create one with NewWorld and run an SPMD program with
+// Run.
 type World struct {
 	size    int
 	machine sim.Machine
 	seed    uint64
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	ranks []*rankState
 
-	ranks   []*rankState
-	boxes   []*mailbox
-	rounds  map[roundKey]*collRound
-	aborted bool
-	abortE  any // first failure, re-raised by Run
+	// fabrics maps a payload type (reflect.Type) to its *fabric[T]; the
+	// data plane lives at T = []float64 and is cached in dataFab.
+	// fabricMu serializes fabric creation (lookups are lock-free).
+	fabrics  sync.Map
+	fabricMu sync.Mutex
+	dataFab  *fabric[[]float64]
 
-	// Hooks let the profiler observe raw traffic without wrapping every
-	// call site; unused (nil) in plain runs.
-	nextCtx uint64
+	// bufs, when non-nil, recycles data-plane payload buffers across
+	// messages (and, via the sweep executor's per-worker scratch, across
+	// the worlds a worker runs). See BufPool.
+	bufs *BufPool
+
+	// Abort machinery: aborted flips once, abortE records the first
+	// failure, and wakers lists every condition variable a rank may block
+	// on so abort can wake the whole world.
+	aborted atomic.Bool
+	abortMu sync.Mutex
+	abortE  any
+	wakers  []waker
 }
 
-// rankState is the per-rank private state. It is confined to the rank's
-// goroutine except for the mailbox, which lives in World.boxes.
+// waker pairs a condition variable with the lock its waiters hold, so abort
+// can broadcast without losing a wakeup.
+type waker struct {
+	mu   *sync.Mutex
+	cond *sync.Cond
+}
+
+// rankState is the per-rank private state, confined to the rank's
+// goroutine.
 type rankState struct {
 	worldRank int
 	clock     sim.Clock
 	rng       *sim.RNG
-}
-
-// mailbox holds in-flight point-to-point messages destined to one rank.
-// Guarded by World.mu.
-type mailbox struct {
-	queue []*message
-}
-
-// message is one point-to-point transfer.
-type message struct {
-	ctx    uint64
-	src    int // rank within the communicator
-	tag    int
-	data   []float64 // copied at send time; nil for Any payloads
-	any    any
-	bytes  int
-	arrive float64 // virtual time at which the payload is fully available
-}
-
-type roundKey struct {
-	ctx uint64
-	seq uint64
-}
-
-// collRound coordinates one collective operation instance. Guarded by
-// World.mu; the condition variable is the world-wide one.
-type collRound struct {
-	arrived  int
-	departed int
-	maxT     float64
-	payloads []any
-	clocks   []float64
-	result   any
-	done     bool
+	// splitScratch is reused across this rank's Split calls for the
+	// transient sorted-record view (the records are copied into the new
+	// communicator's group before Split returns).
+	splitScratch []splitRecord
 }
 
 // NewWorld creates a world of size ranks with the given machine model and
@@ -104,18 +97,14 @@ func NewWorld(size int, machine sim.Machine, seed uint64) *World {
 		machine: machine,
 		seed:    seed,
 		ranks:   make([]*rankState, size),
-		boxes:   make([]*mailbox, size),
-		rounds:  make(map[roundKey]*collRound),
-		nextCtx: 1,
 	}
-	w.cond = sync.NewCond(&w.mu)
 	for r := 0; r < size; r++ {
 		w.ranks[r] = &rankState{
 			worldRank: r,
 			rng:       sim.NewRNG(sim.Mix(seed, uint64(r), 0x6d7069)),
 		}
-		w.boxes[r] = &mailbox{}
 	}
+	w.dataFab = fabricOf[[]float64](w)
 	return w
 }
 
@@ -127,6 +116,27 @@ func (w *World) Machine() sim.Machine { return w.machine }
 
 // Seed returns the world's noise seed.
 func (w *World) Seed() uint64 { return w.seed }
+
+// SetBufPool installs a payload-buffer recycler for the world's data plane.
+// Call it before Run; a nil pool (the default) allocates every payload
+// fresh. Pools may be shared across worlds that run sequentially (the sweep
+// executor threads one per worker), not across concurrently running worlds'
+// lifetimes — the pool itself is safe for concurrent use, so sharing is a
+// throughput choice, not a safety one.
+func (w *World) SetBufPool(p *BufPool) { w.bufs = p }
+
+// BufPoolOf returns the installed payload-buffer recycler (nil when none).
+// Workloads running on the world may borrow it for their own transient
+// buffers — anything Put must no longer be referenced.
+func (w *World) BufPoolOf() *BufPool { return w.bufs }
+
+// registerWakers records condition variables the abort broadcast must
+// reach.
+func (w *World) registerWakers(ws []waker) {
+	w.abortMu.Lock()
+	w.wakers = append(w.wakers, ws...)
+	w.abortMu.Unlock()
+}
 
 // Run executes body once per rank, concurrently, passing each rank its world
 // communicator. It returns a non-nil error if any rank panicked; the
@@ -154,9 +164,9 @@ func (w *World) Run(body func(c *Comm)) error {
 		}(r)
 	}
 	wg.Wait()
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.aborted {
+	if w.aborted.Load() {
+		w.abortMu.Lock()
+		defer w.abortMu.Unlock()
 		if err, ok := w.abortE.(error); ok {
 			return fmt.Errorf("mpi: rank failure: %w", err)
 		}
@@ -165,21 +175,31 @@ func (w *World) Run(body func(c *Comm)) error {
 	return nil
 }
 
-// abort records the first failure and wakes all blocked ranks.
+// abort records the first failure and wakes every blocked rank: the flag is
+// published first, then each registered condition variable is broadcast
+// under its own lock so a rank between its abort check and its Wait cannot
+// miss the wakeup.
 func (w *World) abort(e any) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if !w.aborted {
-		w.aborted = true
+	w.abortMu.Lock()
+	if !w.aborted.Load() {
 		w.abortE = e
+		w.aborted.Store(true)
 	}
-	w.cond.Broadcast()
+	wakers := w.wakers
+	w.abortMu.Unlock()
+	for _, wk := range wakers {
+		wk.mu.Lock()
+		wk.cond.Broadcast()
+		wk.mu.Unlock()
+	}
 }
 
-// checkAbortLocked panics with ErrAborted if the world has failed. Must be
-// called with w.mu held; the panic unwinds through the caller's defers.
-func (w *World) checkAbortLocked() {
-	if w.aborted {
+// checkAbort panics with ErrAborted if the world has failed; the panic
+// unwinds through the caller's defers. Callers blocked on a condition
+// variable hold its lock around both this check and the Wait, which —
+// together with abort's lock-and-broadcast — makes the wakeup reliable.
+func (w *World) checkAbort() {
+	if w.aborted.Load() {
 		panic(ErrAborted)
 	}
 }
@@ -197,18 +217,4 @@ func (w *World) worldComm(rank int) *Comm {
 		group: group,
 		state: w.ranks[rank],
 	}
-}
-
-// round returns (creating if needed) the collective round for key, sized for
-// p participants. Caller holds w.mu.
-func (w *World) roundLocked(key roundKey, p int) *collRound {
-	rd, ok := w.rounds[key]
-	if !ok {
-		rd = &collRound{
-			payloads: make([]any, p),
-			clocks:   make([]float64, p),
-		}
-		w.rounds[key] = rd
-	}
-	return rd
 }

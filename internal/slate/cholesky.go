@@ -45,11 +45,39 @@ func Cholesky(p *critter.Profiler, a *TileMatrix, cfg CholConfig) {
 	// panelTiles caches the factored column-k tiles this rank received:
 	// panelTiles[k][i] is L(i,k) for locally needed i.
 	panelTiles := make(map[int]map[int][]float64)
+	sc := newRankScratch()
+	// Received panel tiles recycle through the world's buffer pool (when
+	// the executor threaded one) and cache maps through a local freelist,
+	// once their panel's updates complete; tiles aliasing the matrix's own
+	// storage are never pooled. At most lookahead+1 panels are live, so
+	// the steady state allocates nothing.
+	bufs := cc.Raw().World().BufPoolOf()
+	var cachePool []map[int][]float64
+	panelRecv := make(map[int][][]float64)
+	newCache := func() map[int][]float64 {
+		if n := len(cachePool); n > 0 {
+			m := cachePool[n-1]
+			cachePool = cachePool[:n-1]
+			clear(m)
+			return m
+		}
+		return make(map[int][]float64)
+	}
+	retirePanel := func(k int) {
+		for _, b := range panelRecv[k] {
+			bufs.Put(b)
+		}
+		delete(panelRecv, k)
+		if m, ok := panelTiles[k]; ok {
+			cachePool = append(cachePool, m)
+			delete(panelTiles, k)
+		}
+	}
 
 	// panel factors tile column k: potrf on the diagonal tile, trsm below,
 	// then broadcasts each L(i,k) to the ranks that will consume it.
 	panel := func(k int, reqs *[]*critter.Request) {
-		cache := make(map[int][]float64)
+		cache := newCache()
 		panelTiles[k] = cache
 		diagOwner := a.Owner(k, k)
 		if me == diagOwner {
@@ -59,15 +87,18 @@ func Cholesky(p *critter.Profiler, a *TileMatrix, cfg CholConfig) {
 			}
 		}
 		// L(k,k) goes to owners of tiles (i,k), i>k (the trsm workers).
-		need := map[int]bool{}
+		need := sc.reset()
 		for i := k + 1; i < nt; i++ {
 			if o := a.Owner(i, k); o != diagOwner {
 				need[o] = true
 			}
 		}
 		var lkk []float64
-		if got := tileBcast(cc, diagOwner, sortedRanks(need), tag(k, k, 0, nt), tileOrNil(a, k, k, me == diagOwner), nb*nb, reqs); got != nil {
+		if got := tileBcast(cc, diagOwner, sc.sorted(), tag(k, k, 0, nt), tileOrNil(a, k, k, me == diagOwner), nb*nb, reqs, bufs); got != nil {
 			lkk = got
+			if me != diagOwner {
+				panelRecv[k] = append(panelRecv[k], got)
+			}
 		}
 		if me == diagOwner {
 			cache[k] = a.Tile(k, k)
@@ -86,7 +117,7 @@ func Cholesky(p *critter.Profiler, a *TileMatrix, cfg CholConfig) {
 		// (transposed right operand).
 		for i := k + 1; i < nt; i++ {
 			owner := a.Owner(i, k)
-			need := map[int]bool{}
+			need := sc.reset()
 			for j := k + 1; j <= i; j++ {
 				if o := a.Owner(i, j); o != owner {
 					need[o] = true
@@ -97,9 +128,12 @@ func Cholesky(p *critter.Profiler, a *TileMatrix, cfg CholConfig) {
 					need[o] = true
 				}
 			}
-			got := tileBcast(cc, owner, sortedRanks(need), tag(k, i, 1, nt), tileOrNil(a, i, k, me == owner), nb*nb, reqs)
+			got := tileBcast(cc, owner, sc.sorted(), tag(k, i, 1, nt), tileOrNil(a, i, k, me == owner), nb*nb, reqs, bufs)
 			if got != nil {
 				cache[i] = got
+				if me != owner {
+					panelRecv[k] = append(panelRecv[k], got)
+				}
 			}
 		}
 	}
@@ -144,7 +178,7 @@ func Cholesky(p *critter.Profiler, a *TileMatrix, cfg CholConfig) {
 		if cfg.Lookahead == 0 && k+1 < nt {
 			panel(k+1, &reqs)
 		}
-		delete(panelTiles, k)
+		retirePanel(k)
 		critter.Waitall(reqs)
 		reqs = reqs[:0]
 	}

@@ -42,6 +42,7 @@ func QR(p *critter.Profiler, a *TileMatrix, cfg QRConfig) {
 	mt, nt, nb, ib := a.MT, a.NT, a.NB, cfg.IB
 	cc := a.G.All
 	me := cc.Rank()
+	sc := newRankScratch()
 	vWords := nb*nb + ib*nb // a V tile with its stacked T factor
 
 	tagOf := func(k, i, j, phase int) int {
@@ -60,7 +61,7 @@ func QR(p *critter.Profiler, a *TileMatrix, cfg QRConfig) {
 			tau := make([]float64, nb)
 			p.Geqrt(nb, nb, ib, vkk, nb, tkk, ib, tau)
 		}
-		rowNeed := map[int]bool{}
+		rowNeed := sc.reset()
 		for j := k + 1; j < nt; j++ {
 			if o := a.Owner(k, j); o != diagOwner {
 				rowNeed[o] = true
@@ -70,7 +71,7 @@ func QR(p *critter.Profiler, a *TileMatrix, cfg QRConfig) {
 		if me == diagOwner {
 			send = append(append([]float64(nil), vkk...), tkk...)
 		}
-		if got := tileBcast(cc, diagOwner, sortedRanks(rowNeed), tagOf(k, k, 0, 0), send, vWords, &reqs); got != nil && me != diagOwner {
+		if got := tileBcast(cc, diagOwner, sc.sorted(), tagOf(k, k, 0, 0), send, vWords, &reqs, nil); got != nil && me != diagOwner {
 			vkk, tkk = got[:nb*nb], got[nb*nb:]
 		}
 		// Apply Q_kk^T to the rest of tile row k.
@@ -112,7 +113,7 @@ func QR(p *critter.Profiler, a *TileMatrix, cfg QRConfig) {
 				tik = make([]float64, ib*nb)
 				p.Tpqrt(nb, nb, ib, r, nb, vik, nb, tik, ib)
 			}
-			need := map[int]bool{}
+			need := sc.reset()
 			for j := k + 1; j < nt; j++ {
 				if ow := a.Owner(i, j); ow != o {
 					need[ow] = true
@@ -122,7 +123,7 @@ func QR(p *critter.Profiler, a *TileMatrix, cfg QRConfig) {
 			if me == o {
 				vsend = append(append([]float64(nil), vik...), tik...)
 			}
-			if got := tileBcast(cc, o, sortedRanks(need), tagOf(k, i, 0, 3), vsend, vWords, &reqs); got != nil {
+			if got := tileBcast(cc, o, sc.sorted(), tagOf(k, i, 0, 3), vsend, vWords, &reqs, nil); got != nil {
 				vT[i] = [2][]float64{got[:nb*nb], got[nb*nb:]}
 			} else if me == o {
 				vT[i] = [2][]float64{vik, tik}

@@ -9,10 +9,10 @@ package slate
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"critter/internal/critter"
 	"critter/internal/grid"
+	"critter/internal/mpi"
 )
 
 // TileMatrix stores the locally owned nb-by-nb tiles of an (mt*nb)x(nt*nb)
@@ -171,8 +171,9 @@ func copyTileIntoDense(full []float64, ld int, tile []float64, i, j, nb int) {
 // distinct grid ranks) using profiled isend/recv. Every rank must call it
 // with identical arguments; returns the tile contents on ranks in recips and
 // on the owner, nil elsewhere. Isend requests are appended to reqs for
-// deferred completion.
-func tileBcast(cc *critter.Comm, owner int, recips []int, tag int, buf []float64, words int, reqs *[]*critter.Request) []float64 {
+// deferred completion. A non-nil pool supplies receive buffers that the
+// caller recycles (Put) once the tile is consumed.
+func tileBcast(cc *critter.Comm, owner int, recips []int, tag int, buf []float64, words int, reqs *[]*critter.Request, pool *mpi.BufPool) []float64 {
 	me := cc.Rank()
 	if me == owner {
 		for _, r := range recips {
@@ -184,7 +185,12 @@ func tileBcast(cc *critter.Comm, owner int, recips []int, tag int, buf []float64
 	}
 	for _, r := range recips {
 		if r == me {
-			in := make([]float64, words)
+			var in []float64
+			if pool != nil {
+				in = pool.Get(words)
+			} else {
+				in = make([]float64, words)
+			}
 			cc.Recv(owner, tag, in)
 			return in
 		}
@@ -192,12 +198,39 @@ func tileBcast(cc *critter.Comm, owner int, recips []int, tag int, buf []float64
 	return nil
 }
 
-// sortedRanks turns a set of grid ranks into a deterministic slice.
-func sortedRanks(set map[int]bool) []int {
-	out := make([]int, 0, len(set))
-	for r := range set {
+// rankScratch reuses the recipient-set and sorted-recipient storage across
+// the thousands of tile broadcasts of one factorization, which would
+// otherwise allocate a fresh map and slice each (the sweep executor's
+// allocation budget is dominated by exactly this kind of per-step churn).
+type rankScratch struct {
+	need  map[int]bool
+	ranks []int
+}
+
+func newRankScratch() *rankScratch {
+	return &rankScratch{need: make(map[int]bool, 8), ranks: make([]int, 0, 8)}
+}
+
+// reset clears and returns the reusable recipient set.
+func (s *rankScratch) reset() map[int]bool {
+	clear(s.need)
+	return s.need
+}
+
+// sorted returns the current recipient set as a sorted slice, valid until
+// the next reset. Recipient sets are at most the grid size, so an insertion
+// sort beats the general-purpose sorter.
+func (s *rankScratch) sorted() []int {
+	out := s.ranks[:0]
+	for r := range s.need {
+		i := len(out)
 		out = append(out, r)
+		for i > 0 && out[i-1] > r {
+			out[i] = out[i-1]
+			i--
+		}
+		out[i] = r
 	}
-	sort.Ints(out)
+	s.ranks = out
 	return out
 }
