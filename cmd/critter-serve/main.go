@@ -1,0 +1,96 @@
+// Command critter-serve exposes the autotuning harness as a long-running
+// HTTP service: tuning runs become schedulable jobs on a bounded queue,
+// progress streams over server-sent events, and every finished job's
+// learned kernel profile accumulates in an in-memory store that
+// warm-starts later jobs on the same workload — the service form of
+// critter-tune's -profile-in/-profile-out loop.
+//
+// Usage:
+//
+//	critter-serve [-addr 127.0.0.1:8080] [-runners 1] [-queue 16] [-workers 0]
+//
+// API (JSON; see the README's Service section for the full table):
+//
+//	POST   /v1/jobs                 {"workload":"candmc","scale":"quick","eps":[0.125]}
+//	GET    /v1/jobs                 all jobs
+//	GET    /v1/jobs/{id}            job status
+//	DELETE /v1/jobs/{id}            cancel
+//	GET    /v1/jobs/{id}/events     progress (SSE)
+//	GET    /v1/jobs/{id}/result     result envelope (schemaVersion 3)
+//	GET    /v1/workloads            registered workload catalog
+//	GET    /v1/profiles/{workload}  accumulated warm-start profile
+//
+// With -addr ending in :0 the kernel picks a free port; the chosen
+// address is printed as "listening on http://..." so scripts (like the CI
+// smoke job) can scrape it. Shutdown is graceful: SIGINT/SIGTERM stops
+// accepting requests, lets in-flight jobs finish within -grace, then
+// cancels whatever is left.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"critter/internal/service"
+	"critter/internal/sim"
+	_ "critter/internal/workload" // the default registry's built-ins
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	runners := flag.Int("runners", 1, "concurrently executing jobs")
+	queue := flag.Int("queue", 16, "bounded pending-job queue size")
+	workers := flag.Int("workers", 0, "per-job concurrent sweep workers (0 = GOMAXPROCS)")
+	history := flag.Int("history", 256, "finished jobs retained for status/result lookups (oldest evicted beyond this; <0 = unlimited)")
+	grace := flag.Duration("grace", 30*time.Second, "graceful-shutdown window for in-flight jobs")
+	flag.Parse()
+
+	sched := service.New(service.Config{
+		Machine:    sim.DefaultMachine(),
+		QueueSize:  *queue,
+		Runners:    *runners,
+		Workers:    *workers,
+		MaxHistory: *history,
+	})
+	httpSrv := &http.Server{Handler: service.NewServer(sched)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "critter-serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("critter-serve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	served := make(chan error, 1)
+	go func() { served <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-served:
+		// Serve only returns on listener failure here; shutdown goes
+		// through the signal path below.
+		fmt.Fprintf(os.Stderr, "critter-serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("critter-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "critter-serve: http shutdown: %v\n", err)
+	}
+	if err := sched.Close(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "critter-serve: scheduler shutdown: %v\n", err)
+	}
+}

@@ -40,13 +40,14 @@ import (
 	"critter/internal/autotune"
 	"critter/internal/critter"
 	"critter/internal/sim"
+	"critter/internal/workload"
 )
 
 func main() {
-	studyName := flag.String("study", "capital", "study: capital, slate-chol, candmc, slate-qr")
+	studyName := flag.String("study", "capital", "workload: "+strings.Join(workload.Names(), ", "))
 	policyFlag := flag.String("policy", "online", "comma-separated policies: conditional, local, online, apriori, eager")
 	epsFlag := flag.String("eps", "0.125", "comma-separated confidence tolerances (<= 0 disables selective execution)")
-	scaleName := flag.String("scale", "default", "problem scale: default or quick")
+	scaleName := flag.String("scale", "default", "problem scale: "+strings.Join(workload.Default().ScaleNames(), ", "))
 	seed := flag.Uint64("seed", 42, "noise seed")
 	noise := flag.Float64("noise", 0.05, "machine noise sigma")
 	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
@@ -58,12 +59,9 @@ func main() {
 	profileOut := flag.String("profile-out", "", "write the run's merged learned kernel profile to this file")
 	flag.Parse()
 
-	scale, err := autotune.ParseScale(*scaleName)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
-		os.Exit(2)
-	}
-	study, err := autotune.ParseStudy(*studyName, scale)
+	// The -scale name resolves against the chosen workload's own declared
+	// presets, so a preset some other workload registered cannot leak in.
+	study, err := workload.ResolveStudy(nil, *studyName, *scaleName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
 		os.Exit(2)

@@ -31,17 +31,23 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"critter/internal/autotune"
 	"critter/internal/critter"
 	"critter/internal/figures"
 	"critter/internal/sim"
+	"critter/internal/workload"
 )
+
+// paperOrder is the order the paper presents its four case studies in;
+// Figure 3 runs all of them.
+var paperOrder = []string{"capital", "slate-chol", "candmc", "slate-qr"}
 
 func main() {
 	fig := flag.String("fig", "3", "figure to regenerate: 3, 4, 5, or select")
-	studyName := flag.String("study", "", "study: capital, slate-chol, candmc, slate-qr (default: all for the figure)")
-	scaleName := flag.String("scale", "default", "problem scale: default or quick")
+	studyName := flag.String("study", "", "workload: "+strings.Join(workload.Names(), ", ")+" (default: all for the figure)")
+	scaleName := flag.String("scale", "default", "problem scale: "+strings.Join(workload.Default().ScaleNames(), ", "))
 	seed := flag.Uint64("seed", 42, "noise seed")
 	neps := flag.Int("neps", 11, "number of tolerance points (eps = 2^0 .. 2^-(neps-1))")
 	noise := flag.Float64("noise", 0.05, "machine noise sigma")
@@ -53,11 +59,6 @@ func main() {
 	profileOut := flag.String("profile-out", "", "write the tuning figures' merged learned kernel profile to this file")
 	flag.Parse()
 
-	scale, err := autotune.ParseScale(*scaleName)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-		os.Exit(2)
-	}
 	if *neps < 1 {
 		fmt.Fprintf(os.Stderr, "figures: -neps must be at least 1, got %d\n", *neps)
 		os.Exit(2)
@@ -93,7 +94,7 @@ func main() {
 	var order []string
 	switch *fig {
 	case "3":
-		order = autotune.StudyNames
+		order = paperOrder
 	case "4", "select":
 		order = []string{"capital", "slate-chol"}
 	case "5":
@@ -105,14 +106,12 @@ func main() {
 	if *studyName != "" {
 		order = []string{*studyName}
 	}
-	sts := make([]autotune.Study, len(order))
-	for i, name := range order {
-		st, err := autotune.ParseStudy(name, scale)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-			os.Exit(2)
-		}
-		sts[i] = st
+	// Each workload resolves the -scale name against its own declared
+	// presets (the registry's per-workload scale namespace).
+	sts, err := figures.StudiesFor(nil, order, *scaleName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(2)
 	}
 
 	eps := autotune.EpsList(*neps)

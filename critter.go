@@ -30,6 +30,13 @@
 // including across problem scales, where the fitted family extrapolators
 // keep predicting after the per-signature models stop matching.
 //
+// Tuning problems themselves are first-class Workloads in a process-global
+// registry: the shipped catalog (the four case studies plus the example
+// workloads) and anything added with RegisterWorkload resolve by name
+// through ParseStudy, the CLIs, and the critter-serve job service, which
+// queues tuning runs behind an HTTP JSON API and warm-starts each job from
+// what earlier jobs on the same workload learned.
+//
 // This file is the public facade: it re-exports the stable API surface from
 // the internal packages. Typical use:
 //
@@ -54,6 +61,7 @@ import (
 	"critter/internal/mpi"
 	"critter/internal/sim"
 	"critter/internal/stats"
+	"critter/internal/workload"
 )
 
 // Core profiler types (the paper's contribution).
@@ -152,6 +160,21 @@ type (
 	Progress = autotune.Progress
 	// Scale sizes the built-in case studies.
 	Scale = autotune.Scale
+	// Workload is a first-class, registrable tuning problem: name,
+	// description, configuration space, default policies, scale presets,
+	// and a Study builder. Resolve by name through LookupWorkload or
+	// ParseStudy; add your own with RegisterWorkload.
+	Workload = workload.Workload
+	// WorkloadDef is the declarative Workload implementation: fill the
+	// fields, pass it to RegisterWorkload.
+	WorkloadDef = workload.Def
+	// ScalePreset is one named problem size a workload declares.
+	ScalePreset = workload.ScalePreset
+	// WorkloadRegistry maps workload names to Workloads. The process
+	// global default registry (Workloads, LookupWorkload, RegisterWorkload)
+	// carries the paper's four case studies plus the two example
+	// workloads; NewWorkloadRegistry builds isolated ones for services.
+	WorkloadRegistry = workload.Registry
 )
 
 // Selective-execution policies (Section IV-B of the paper).
@@ -213,12 +236,46 @@ func QuickScale() Scale { return autotune.QuickScale() }
 // serialized results.
 func ParsePolicy(name string) (Policy, error) { return critter.ParsePolicy(name) }
 
-// ParseScale resolves a scale name (default, quick).
-func ParseScale(name string) (Scale, error) { return autotune.ParseScale(name) }
+// ParseScale resolves a scale-preset name against the default workload
+// registry's declared presets (default, quick for the built-ins); the
+// error enumerates the valid names.
+func ParseScale(name string) (Scale, error) { return workload.ParseScale(name) }
 
-// ParseStudy resolves a case-study flag name (capital, slate-chol, candmc,
-// slate-qr) at the given scale.
-func ParseStudy(name string, s Scale) (Study, error) { return autotune.ParseStudy(name, s) }
+// ParseStudy resolves a workload name in the default registry (capital,
+// slate-chol, candmc, slate-qr, cholesky3d, qr2d, plus anything registered
+// with RegisterWorkload) and builds its study at the given scale.
+func ParseStudy(name string, s Scale) (Study, error) { return workload.ParseStudy(nil, name, s) }
+
+// RegisterWorkload adds a custom workload to the default registry, making
+// it resolvable by name everywhere studies are: ParseStudy, the CLIs'
+// -study flags, and the critter-serve job API. Empty and duplicate names
+// are errors.
+func RegisterWorkload(w Workload) error { return workload.Register(w) }
+
+// LookupWorkload resolves a workload by name in the default registry.
+func LookupWorkload(name string) (Workload, bool) { return workload.Lookup(name) }
+
+// Workloads returns the default registry's workloads in registration order
+// (the four case studies first, in the paper's presentation order, then
+// the example workloads, then anything registered since).
+func Workloads() []Workload { return workload.List() }
+
+// WorkloadNames returns the default registry's workload names in
+// registration order.
+func WorkloadNames() []string { return workload.Names() }
+
+// NewWorkloadRegistry returns an empty, isolated workload registry, for
+// services that must not see (or leak into) the process-global namespace.
+func NewWorkloadRegistry() *WorkloadRegistry { return workload.NewRegistry() }
+
+// WorkloadScale resolves one of w's declared scale presets by name; the
+// error enumerates w's preset names.
+func WorkloadScale(w Workload, name string) (Scale, error) { return workload.ScaleOf(w, name) }
+
+// DecodeEnvelope parses a serialized tuning-run envelope (critter-tune
+// -json output, critter-serve job results), accepting schema versions 2
+// through ResultSchemaVersion and rejecting unknown future versions.
+func DecodeEnvelope(data []byte) (*Envelope, error) { return autotune.DecodeEnvelope(data) }
 
 // ParseStrategy resolves a search-strategy flag spec ("exhaustive",
 // "random:N", "halving[:ETA]"); seed seeds RandomSample's stream.

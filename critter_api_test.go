@@ -253,3 +253,77 @@ func TestPolicyNames(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeWorkloadRegistry: a downstream user can register a custom
+// workload through the facade alone and have it resolve everywhere names
+// do — ParseStudy included — without touching internal packages.
+func TestFacadeWorkloadRegistry(t *testing.T) {
+	// The shipped catalog is visible and resolvable.
+	names := critter.WorkloadNames()
+	byName := map[string]bool{}
+	for _, n := range names {
+		byName[n] = true
+	}
+	for _, want := range []string{"capital", "slate-chol", "candmc", "slate-qr", "cholesky3d", "qr2d"} {
+		if !byName[want] {
+			t.Errorf("default registry is missing %q (have %v)", want, names)
+		}
+	}
+	if len(critter.Workloads()) != len(names) {
+		t.Errorf("Workloads and WorkloadNames disagree")
+	}
+
+	// Register a custom workload: a shrunk CANDMC QR under a new name.
+	custom := critter.WorkloadDef{
+		WorkloadName: "custom-qr-facade-test",
+		Description:  "facade-registered CANDMC QR variant",
+		BuildFunc: func(s critter.Scale) critter.Study {
+			st := critter.CandmcQR(s)
+			st.Name = "custom-qr"
+			return st
+		},
+		DefaultPolicies: []critter.Policy{critter.Online},
+		ScalePresets: []critter.ScalePreset{
+			{Name: "tiny", Scale: critter.QuickScale()},
+		},
+	}
+	if err := critter.RegisterWorkload(custom); err != nil {
+		t.Fatal(err)
+	}
+	if err := critter.RegisterWorkload(custom); err == nil {
+		t.Error("duplicate facade registration succeeded")
+	}
+
+	wl, ok := critter.LookupWorkload("custom-qr-facade-test")
+	if !ok {
+		t.Fatal("registered workload not found")
+	}
+	scale, err := critter.WorkloadScale(wl, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := critter.WorkloadScale(wl, "default"); err == nil {
+		t.Error("undeclared preset resolved")
+	}
+	st := wl.Build(scale)
+	if st.Name != "custom-qr" || st.Size() <= 0 {
+		t.Errorf("built study %+v", st)
+	}
+
+	// The legacy name-resolution surface sees it too.
+	viaParse, err := critter.ParseStudy("custom-qr-facade-test", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaParse.Name != "custom-qr" {
+		t.Errorf("ParseStudy resolved %q", viaParse.Name)
+	}
+
+	// And the scale presets feed the global scale namespace.
+	if _, err := critter.ParseScale("tiny"); err != nil {
+		t.Errorf("ParseScale(tiny) after registration: %v", err)
+	}
+	if _, err := critter.ParseScale("bogus-scale"); err == nil {
+		t.Error("ParseScale(bogus-scale) succeeded")
+	}
+}

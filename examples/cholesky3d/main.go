@@ -58,16 +58,28 @@ func main() {
 
 	// --- Part 2: autotune all 15 configurations with eager propagation,
 	// through the Tuner (the exhaustive strategy is the default and
-	// reproduces the paper's protocol; a context bounds the sweep).
+	// reproduces the paper's protocol; a context bounds the sweep). This
+	// experiment is itself a registered workload — "cholesky3d" in the
+	// default registry, with the conditional-vs-eager comparison as its
+	// declared default policies — so it is resolved by name here, exactly
+	// as critter-tune -study cholesky3d or a critter-serve job would.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
-	study := critter.CapitalCholesky(critter.DefaultScale())
+	wl, ok := critter.LookupWorkload("cholesky3d")
+	if !ok {
+		log.Fatal("workload cholesky3d is not registered")
+	}
+	scale, err := critter.WorkloadScale(wl, "default")
+	if err != nil {
+		log.Fatal(err)
+	}
+	study := wl.Build(scale)
 	res, err := critter.Tuner{
 		Study:    study,
 		EpsList:  []float64{0.125},
 		Machine:  machine,
 		Seed:     11,
-		Policies: []critter.Policy{critter.Conditional, critter.Eager},
+		Policies: wl.Policies(), // conditional, eager
 	}.Run(ctx)
 	if err != nil {
 		log.Fatal(err)

@@ -66,17 +66,27 @@ func main() {
 	}
 
 	// Autotune block size and grid shape (the paper's Figure 5a study).
-	// This deliberately uses the legacy Experiment wrapper: pre-Tuner code
-	// keeps compiling and produces bit-identical results (see the
-	// migration notes in the README and examples/budgeted-search for the
-	// Tuner API).
-	study := critter.CandmcQR(critter.DefaultScale())
+	// The experiment is the registered "qr2d" workload (online propagation
+	// as its declared default policy), resolved by name through the
+	// registry like any CLI or service job. This deliberately uses the
+	// legacy Experiment wrapper: pre-Tuner code keeps compiling and
+	// produces bit-identical results (see the migration notes in the
+	// README and examples/budgeted-search for the Tuner API).
+	wl, ok := critter.LookupWorkload("qr2d")
+	if !ok {
+		log.Fatal("workload qr2d is not registered")
+	}
+	scale, err := critter.WorkloadScale(wl, "default")
+	if err != nil {
+		log.Fatal(err)
+	}
+	study := wl.Build(scale)
 	res, err := critter.Experiment{
 		Study:    study,
 		EpsList:  []float64{0.25},
 		Machine:  machine,
 		Seed:     23,
-		Policies: []critter.Policy{critter.Online},
+		Policies: wl.Policies(), // online
 	}.Run()
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,48 @@
+package autotune
+
+// Envelope decoding with schema-version gating. Encoding lives wherever an
+// Envelope value is marshaled (the CLIs, the service layer); decoding is
+// centralized here so every reader applies the same compatibility window:
+// version 2 (the first self-describing envelope, no profile fields) through
+// the current ResultSchemaVersion are accepted, anything newer is rejected
+// with a clear error instead of being silently half-read.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// envelopeMinSchemaVersion is the oldest envelope layout this build reads.
+// Version 1 was a bare Result grid with no envelope around it, so it is
+// not decodable as an Envelope at all.
+const envelopeMinSchemaVersion = 2
+
+// DecodeEnvelope parses a serialized tuning-run envelope (critter-tune
+// -json output, the service's job results), validating its schema version:
+// versions 2 through ResultSchemaVersion decode (older versions simply
+// leave the later fields empty), unknown future versions are rejected.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	// Probe the version first so a future layout is rejected before any
+	// field of it is misinterpreted.
+	var probe struct {
+		SchemaVersion *int `json:"schemaVersion"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("autotune: decode envelope: %w", err)
+	}
+	switch {
+	case probe.SchemaVersion == nil:
+		return nil, fmt.Errorf("autotune: decode envelope: missing schemaVersion (schema version 1 files are bare result grids, not envelopes)")
+	case *probe.SchemaVersion < envelopeMinSchemaVersion:
+		return nil, fmt.Errorf("autotune: decode envelope: schemaVersion %d predates the envelope format (this build reads %d through %d)",
+			*probe.SchemaVersion, envelopeMinSchemaVersion, ResultSchemaVersion)
+	case *probe.SchemaVersion > ResultSchemaVersion:
+		return nil, fmt.Errorf("autotune: decode envelope: unknown future schemaVersion %d (this build reads %d through %d)",
+			*probe.SchemaVersion, envelopeMinSchemaVersion, ResultSchemaVersion)
+	}
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("autotune: decode envelope: %w", err)
+	}
+	return &env, nil
+}

@@ -1,0 +1,139 @@
+package autotune
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"critter/internal/critter"
+)
+
+// schemaV2Envelope is a literal critter-tune output from the schema-2 era:
+// no prior, no profiles — those fields did not exist yet.
+const schemaV2Envelope = `{
+  "schemaVersion": 2,
+  "study": "candmc-qr",
+  "scale": "quick",
+  "seed": 42,
+  "noiseSigma": 0.05,
+  "strategy": "exhaustive",
+  "result": {
+    "Study": "candmc-qr",
+    "Strategy": "exhaustive",
+    "Policies": ["online"],
+    "EpsList": [0.125],
+    "Sweeps": [[{
+      "Policy": "online",
+      "Eps": 0.125,
+      "Configs": null,
+      "TuneWall": 1.5,
+      "FullWall": 3,
+      "KernelTime": 0.5,
+      "CompKernelTime": 0.25,
+      "MeanLogExecErr": -3,
+      "MeanLogCompErr": -4,
+      "Selected": 2,
+      "Optimal": 2,
+      "Executed": 100,
+      "Skipped": 900
+    }]]
+  }
+}`
+
+// TestDecodeEnvelopeV2BackCompat: a schema-2 envelope (no profile fields)
+// must decode cleanly and survive a round trip — the profile-era fields
+// stay absent, everything else is preserved.
+func TestDecodeEnvelopeV2BackCompat(t *testing.T) {
+	env, err := DecodeEnvelope([]byte(schemaV2Envelope))
+	if err != nil {
+		t.Fatalf("DecodeEnvelope(v2): %v", err)
+	}
+	if env.SchemaVersion != 2 || env.Study != "candmc-qr" || env.Scale != "quick" ||
+		env.Seed != 42 || env.NoiseSigma != 0.05 || env.Strategy != "exhaustive" {
+		t.Errorf("v2 header fields lost: %+v", env)
+	}
+	if env.Prior != nil || env.Profiles != nil {
+		t.Errorf("v2 envelope grew profile fields: prior=%v profiles=%v", env.Prior, env.Profiles)
+	}
+	if env.Result == nil || len(env.Result.Sweeps) != 1 || len(env.Result.Sweeps[0]) != 1 {
+		t.Fatalf("v2 result grid lost: %+v", env.Result)
+	}
+	sw := env.Result.Sweeps[0][0]
+	if sw.Policy != critter.Online || sw.Eps != 0.125 || sw.Executed != 100 || sw.Skipped != 900 {
+		t.Errorf("v2 sweep fields lost: %+v", sw)
+	}
+
+	// Round trip: marshal the decoded value and decode it again; the two
+	// decoded envelopes must be identical (the marshal leaves no residue
+	// of the missing schema-3 fields).
+	out, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "profiles") || strings.Contains(string(out), "prior") {
+		t.Errorf("re-encoded v2 envelope grew profile fields: %s", out)
+	}
+	back, err := DecodeEnvelope(out)
+	if err != nil {
+		t.Fatalf("DecodeEnvelope(round trip): %v", err)
+	}
+	if !reflect.DeepEqual(env, back) {
+		t.Errorf("v2 envelope did not round-trip:\nfirst:  %+v\nsecond: %+v", env, back)
+	}
+}
+
+// TestDecodeEnvelopeVersionGate: future versions and pre-envelope layouts
+// are rejected with errors that say what happened.
+func TestDecodeEnvelopeVersionGate(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"future", `{"schemaVersion": 99}`, "unknown future schemaVersion 99"},
+		{"next", `{"schemaVersion": 4}`, "unknown future schemaVersion 4"},
+		{"v1-bare-grid", `{"schemaVersion": 1}`, "predates the envelope format"},
+		{"zero", `{"schemaVersion": 0}`, "predates the envelope format"},
+		{"missing", `{"study": "candmc-qr"}`, "missing schemaVersion"},
+		{"not-json", `]`, "decode envelope"},
+		{"wrong-type", `{"schemaVersion": "three"}`, "decode envelope"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeEnvelope([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("DecodeEnvelope(%s) succeeded", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeEnvelopeCurrent: the current schema version decodes, profile
+// summaries included.
+func TestDecodeEnvelopeCurrent(t *testing.T) {
+	env := Envelope{
+		SchemaVersion: ResultSchemaVersion,
+		Study:         "slate-cholesky",
+		Scale:         "quick",
+		Seed:          7,
+		NoiseSigma:    0.05,
+		Strategy:      "halving",
+		Profiles:      []ProfileSummary{{Policy: "online", Eps: 0.125, Kernels: 3, Samples: 12}},
+		Result:        &Result{Study: "slate-cholesky", Strategy: "halving"},
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeEnvelope(data)
+	if err != nil {
+		t.Fatalf("DecodeEnvelope(current): %v", err)
+	}
+	if !reflect.DeepEqual(&env, back) {
+		t.Errorf("current envelope did not round-trip:\nin:  %+v\nout: %+v", env, back)
+	}
+}

@@ -1,16 +1,24 @@
-package autotune
+package autotune_test
 
 // Fuzzing of the flag-parsing gates: whatever the input, a parser either
 // returns an error or a fully usable value — no panics, no half-built
 // studies or strategies. Under plain `go test` these run their seed corpus
 // as ordinary unit tests.
+//
+// This is an external test package: ParseStudy and ParseScale now resolve
+// through the workload registry, whose package imports autotune, so the
+// registry import (and the resolver it installs) must come from outside.
 
 import (
 	"testing"
+
+	. "critter/internal/autotune"
+	_ "critter/internal/workload" // installs the registry resolver
 )
 
 func FuzzParseStudy(f *testing.F) {
-	for _, seed := range []string{"capital", "slate-chol", "candmc", "slate-qr", "", "CAPITAL", "slate-qr ", "bogus"} {
+	for _, seed := range []string{"capital", "slate-chol", "candmc", "slate-qr",
+		"cholesky3d", "qr2d", "", "CAPITAL", "slate-qr ", "bogus"} {
 		f.Add(seed)
 	}
 	scale := QuickScale()
@@ -65,7 +73,7 @@ func FuzzParseStrategy(f *testing.F) {
 		}
 		// Whatever the parsed parameters, the plan over a small space must
 		// stay inside the space and terminate.
-		sp := legacySpace(6)
+		sp := NewSpace(IntsDim("v", 0, 1, 2, 3, 4, 5))
 		plan := strat.Plan(sp, 0.25)
 		var prev []ConfigResult
 		for rounds := 0; ; rounds++ {

@@ -1,4 +1,4 @@
-package autotune
+package autotune_test
 
 // Golden-envelope equality tests: the full result grids of all four case
 // studies — eager propagation (CAPITAL) and the successive-halving strategy
@@ -7,6 +7,10 @@ package autotune
 // executor) may be rebuilt freely, but these tests prove the sweep results
 // stay bit-identical: any refactor that perturbs virtual-time determinism,
 // pathset merging, or estimator feeding order fails here.
+//
+// Studies are resolved by name through the workload registry (ParseStudy),
+// the same path the CLIs and the service layer take, so the tests also pin
+// that registry resolution changes nothing about the results.
 //
 // Regenerate with:
 //
@@ -20,7 +24,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	. "critter/internal/autotune"
 	"critter/internal/sim"
+	_ "critter/internal/workload" // installs the registry resolver
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite golden envelope files")
@@ -49,21 +55,27 @@ func goldenCases(t *testing.T) []struct {
 		}
 		return s
 	}
-	q := QuickScale()
+	study := func(name string) Study {
+		st, err := ParseStudy(name, QuickScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
 	return []struct {
 		name  string
 		study Study
 		strat Strategy
 		eps   []float64
 	}{
-		{"capital_exhaustive", CapitalCholesky(q), Exhaustive{}, []float64{0.5, 0.125}},
-		{"slate-chol_exhaustive", SlateCholesky(q), Exhaustive{}, []float64{0.5, 0.125}},
-		{"candmc_exhaustive", CandmcQR(q), Exhaustive{}, []float64{0.5, 0.125}},
-		{"slate-qr_exhaustive", SlateQR(q), Exhaustive{}, []float64{0.125}},
-		{"capital_halving", CapitalCholesky(q), halving(), []float64{0.125}},
-		{"slate-chol_halving", SlateCholesky(q), halving(), []float64{0.125}},
-		{"candmc_halving", CandmcQR(q), halving(), []float64{0.125}},
-		{"slate-qr_halving", SlateQR(q), halving(), []float64{0.125}},
+		{"capital_exhaustive", study("capital"), Exhaustive{}, []float64{0.5, 0.125}},
+		{"slate-chol_exhaustive", study("slate-chol"), Exhaustive{}, []float64{0.5, 0.125}},
+		{"candmc_exhaustive", study("candmc"), Exhaustive{}, []float64{0.5, 0.125}},
+		{"slate-qr_exhaustive", study("slate-qr"), Exhaustive{}, []float64{0.125}},
+		{"capital_halving", study("capital"), halving(), []float64{0.125}},
+		{"slate-chol_halving", study("slate-chol"), halving(), []float64{0.125}},
+		{"candmc_halving", study("candmc"), halving(), []float64{0.125}},
+		{"slate-qr_halving", study("slate-qr"), halving(), []float64{0.125}},
 	}
 }
 

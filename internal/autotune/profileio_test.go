@@ -1,0 +1,100 @@
+package autotune
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"critter/internal/critter"
+)
+
+// TestWriteProfileFileAtomic: the write lands complete and readable, the
+// temp file is gone, and overwriting an existing profile replaces it in
+// one step.
+func TestWriteProfileFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prof.json")
+
+	p := &critter.Profile{
+		Estimator: "ci-mean",
+		Kernels: map[critter.Key]critter.KernelModel{
+			critter.CompKey("gemm", 8, 8, 8, 0): {Count: 4, Mean: 1e-6, M2: 1e-14},
+		},
+	}
+	if err := WriteProfileFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("profile file is missing the trailing newline")
+	}
+	back, err := critter.DecodeProfile(data)
+	if err != nil {
+		t.Fatalf("written profile does not decode: %v", err)
+	}
+	if back.Samples() != 4 {
+		t.Errorf("round-tripped profile has %d samples, want 4", back.Samples())
+	}
+	// Permissions match what a plain os.WriteFile(…, 0o644) produces
+	// under the same umask — the atomic write must not widen them.
+	ref := filepath.Join(dir, "ref")
+	if err := os.WriteFile(ref, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	refInfo, err := os.Stat(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(ref); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm() != refInfo.Mode().Perm() {
+		t.Errorf("profile file mode = %v, %v; want %v (os.WriteFile under this umask)", fi.Mode(), err, refInfo.Mode().Perm())
+	}
+
+	// Overwrite: the rename replaces the old artifact wholesale.
+	p2 := &critter.Profile{Estimator: "ci-mean"}
+	if err := WriteProfileFile(path, p2); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data2), "gemm") {
+		t.Error("overwrite kept stale content")
+	}
+
+	// No temp-file residue in the target directory either way.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "prof.json" {
+			t.Errorf("stray file %q left beside the profile", e.Name())
+		}
+	}
+
+	// A nil profile stays an error and must not touch the target.
+	if err := WriteProfileFile(path, nil); err == nil {
+		t.Error("WriteProfileFile(nil) succeeded")
+	}
+	if after, _ := os.ReadFile(path); string(after) != string(data2) {
+		t.Error("failed write modified the existing profile")
+	}
+}
+
+// TestWriteProfileFileBadDir: a missing target directory fails cleanly
+// (the temp file is created in the target dir, so the error surfaces
+// before any bytes are written anywhere else).
+func TestWriteProfileFileBadDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "prof.json")
+	if err := WriteProfileFile(path, &critter.Profile{}); err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+}

@@ -2,7 +2,6 @@ package autotune
 
 import (
 	"fmt"
-	"strings"
 
 	"critter/internal/candmc"
 	"critter/internal/capital"
@@ -51,34 +50,46 @@ func DefaultScale() Scale {
 	}
 }
 
-// StudyNames lists the built-in case studies' flag names in the order the
-// paper presents them.
-var StudyNames = []string{"capital", "slate-chol", "candmc", "slate-qr"}
-
-// ParseStudy resolves a case-study flag name at the given scale.
-func ParseStudy(name string, s Scale) (Study, error) {
-	switch name {
-	case "capital":
-		return CapitalCholesky(s), nil
-	case "slate-chol":
-		return SlateCholesky(s), nil
-	case "candmc":
-		return CandmcQR(s), nil
-	case "slate-qr":
-		return SlateQR(s), nil
-	}
-	return Study{}, fmt.Errorf("autotune: unknown study %q (want %s)", name, strings.Join(StudyNames, ", "))
+// Resolver resolves study and scale names through a workload registry.
+// internal/workload installs one at init (it imports this package, so the
+// registry cannot live here); ParseStudy and ParseScale are thin wrappers
+// over it, preserved for pre-registry call sites.
+type Resolver interface {
+	// ResolveStudy builds the named workload's study at the given scale.
+	ResolveStudy(name string, s Scale) (Study, error)
+	// ResolveScale resolves a named scale preset.
+	ResolveScale(name string) (Scale, error)
 }
 
-// ParseScale resolves a scale name as used in command-line flags.
-func ParseScale(name string) (Scale, error) {
-	switch name {
-	case "default":
-		return DefaultScale(), nil
-	case "quick":
-		return QuickScale(), nil
+// resolver is the installed workload registry adapter. Installation
+// happens in package init (importing critter/internal/workload, the
+// critter facade, or anything built on them), strictly before any parse
+// call, so no synchronization is needed.
+var resolver Resolver
+
+// SetResolver installs the workload registry adapter ParseStudy and
+// ParseScale delegate to. Called by internal/workload's init.
+func SetResolver(r Resolver) { resolver = r }
+
+// ParseStudy resolves a workload name at the given scale through the
+// registered workload registry. It is a thin compatibility wrapper over
+// the registry in critter/internal/workload; new code should resolve
+// workloads there (or through the critter facade) directly.
+func ParseStudy(name string, s Scale) (Study, error) {
+	if resolver == nil {
+		return Study{}, fmt.Errorf("autotune: no workload registry installed (import critter/internal/workload)")
 	}
-	return Scale{}, fmt.Errorf("autotune: unknown scale %q (want default or quick)", name)
+	return resolver.ResolveStudy(name, s)
+}
+
+// ParseScale resolves a scale-preset name through the registered workload
+// registry; the registry's error enumerates the declared preset names. A
+// thin compatibility wrapper, like ParseStudy.
+func ParseScale(name string) (Scale, error) {
+	if resolver == nil {
+		return Scale{}, fmt.Errorf("autotune: no workload registry installed (import critter/internal/workload)")
+	}
+	return resolver.ResolveScale(name)
 }
 
 // QuickScale is a miniature space for tests: 8 ranks, tiny matrices.

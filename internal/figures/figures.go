@@ -17,7 +17,25 @@ import (
 	"critter/internal/autotune"
 	"critter/internal/critter"
 	"critter/internal/sim"
+	"critter/internal/workload"
 )
+
+// StudiesFor resolves workload names through the workload registry (nil reg
+// means the process-global default) and builds each study at the named
+// scale preset, resolved against each workload's own declared presets.
+// This is the only path from a name to a runnable study in the figures
+// layer: figure generation sees exactly what the registry serves.
+func StudiesFor(reg *workload.Registry, names []string, scaleName string) ([]autotune.Study, error) {
+	studies := make([]autotune.Study, len(names))
+	for i, name := range names {
+		st, err := workload.ResolveStudy(reg, name, scaleName)
+		if err != nil {
+			return nil, err
+		}
+		studies[i] = st
+	}
+	return studies, nil
+}
 
 // Fig3 holds one study's full-execution reports: the per-configuration BSP
 // costs and time breakdowns of Figure 3's panels.

@@ -1,0 +1,225 @@
+package service
+
+// The versioned HTTP JSON API over the Scheduler, served by
+// cmd/critter-serve:
+//
+//	POST   /v1/jobs                 submit a tuning job (JobRequest body)
+//	GET    /v1/jobs                 list every job's status
+//	GET    /v1/jobs/{id}            one job's status
+//	DELETE /v1/jobs/{id}            cancel a job
+//	GET    /v1/jobs/{id}/events     completion-ordered progress (SSE)
+//	GET    /v1/jobs/{id}/result     a finished job's result envelope
+//	GET    /v1/workloads            the registry's workload catalog
+//	GET    /v1/profiles/{workload}  the accumulated warm-start profile
+//
+// Responses are JSON; errors are {"error": "..."} with conventional
+// status codes (400 malformed request, 404 unknown resource, 409 wrong
+// state, 503 queue full or shutting down).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxJobBodyBytes bounds a job-submission body; a tuning request is a few
+// hundred bytes of JSON, so anything larger is garbage or abuse.
+const maxJobBodyBytes = 1 << 20
+
+// Server is the http.Handler wrapping a Scheduler.
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer builds the API surface over a scheduler.
+func NewServer(s *Scheduler) *Server {
+	srv := &Server{sched: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("POST /v1/jobs", srv.submit)
+	srv.mux.HandleFunc("GET /v1/jobs", srv.list)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.status)
+	srv.mux.HandleFunc("DELETE /v1/jobs/{id}", srv.cancel)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}/events", srv.events)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}/result", srv.result)
+	srv.mux.HandleFunc("GET /v1/workloads", srv.workloads)
+	srv.mux.HandleFunc("GET /v1/profiles/{workload}", srv.profile)
+	return srv
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+// writeError emits the {"error": ...} shape.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	st, err := s.sched.SubmitJSON(body)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+st.ID)
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.Jobs()})
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.sched.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.sched.Cancel(id)
+	switch {
+	case errors.Is(err, ErrFinished):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	env, ok := s.sched.Result(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if env == nil {
+		st, _ := s.sched.Status(id)
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s has no result yet (state %s)", id, st.State))
+		return
+	}
+	writeJSON(w, http.StatusOK, env)
+}
+
+// events streams a job's progress as server-sent events: each event is
+// `event: <type>` + `data: <Event JSON>`, replaying the job's history
+// first, then following live until the terminal event (done, failed, or
+// canceled), after which the stream ends.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	past, live, unsubscribe, ok := s.sched.Subscribe(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	defer func() {
+		if unsubscribe != nil {
+			unsubscribe()
+		}
+	}()
+
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev Event) (terminal bool) {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return true
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+		if canFlush {
+			flusher.Flush()
+		}
+		return State(ev.Type).terminal()
+	}
+	for _, ev := range past {
+		if send(ev) {
+			return
+		}
+	}
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case ev, open := <-live:
+			if !open || send(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// workloadInfo is one catalog entry of GET /v1/workloads.
+type workloadInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Policies is the default selective-execution policy list.
+	Policies []string `json:"policies"`
+	// Scales maps each declared scale preset to the configuration count
+	// of the workload's space at that preset.
+	Scales map[string]int `json:"scales"`
+}
+
+func (s *Server) workloads(w http.ResponseWriter, r *http.Request) {
+	var out []workloadInfo
+	for _, wl := range s.sched.Registry().List() {
+		info := workloadInfo{
+			Name:        wl.Name(),
+			Description: wl.Describe(),
+			Scales:      make(map[string]int),
+		}
+		for _, p := range wl.Policies() {
+			info.Policies = append(info.Policies, p.String())
+		}
+		for _, preset := range wl.Scales() {
+			info.Scales[preset.Name] = wl.Space(preset.Scale).Size()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+}
+
+func (s *Server) profile(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("workload")
+	p := s.sched.Store().Get(name)
+	if p == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no accumulated profile for workload %q", name))
+		return
+	}
+	data, err := p.Encode()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n')) //nolint:errcheck
+}

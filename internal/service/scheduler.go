@@ -1,0 +1,693 @@
+// Package service turns tuning runs into schedulable jobs: a Scheduler
+// with a bounded queue and per-job contexts wraps the autotune Tuner,
+// streams completion-ordered progress events (reusing Tuner.Stream), and
+// shares a ProfileStore so later jobs warm-start from what earlier jobs on
+// the same workload learned. The HTTP layer (http.go, served by
+// cmd/critter-serve) exposes it as a versioned JSON API.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"critter/internal/autotune"
+	"critter/internal/critter"
+	"critter/internal/sim"
+	"critter/internal/workload"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a job in this state will never change again.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one progress notification of a running job, delivered in
+// completion order (the order Tuner.Stream yields sweeps, not grid order).
+// It is also the SSE payload shape of GET /v1/jobs/{id}/events.
+type Event struct {
+	// Type is queued, started, sweep, done, failed, or canceled.
+	Type string `json:"type"`
+	// Job is the job ID the event belongs to.
+	Job string `json:"job"`
+	// Policy and Eps identify the completed sweep's grid cell (sweep
+	// events only; empty/zero otherwise). Eps is always emitted — 0 is a
+	// legitimate sweep tolerance (selective execution disabled), so
+	// omitting it would leave that cell unidentifiable.
+	Policy string  `json:"policy,omitempty"`
+	Eps    float64 `json:"eps"`
+	// Done and Total count completed vs scheduled sweeps.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Executed and Skipped are the completed sweep's kernel counts,
+	// always emitted on sweep events (0 executed is information, not
+	// absence).
+	Executed int64 `json:"executed"`
+	Skipped  int64 `json:"skipped"`
+	// Error carries a sweep's or the job's failure, when there is one.
+	Error string `json:"error,omitempty"`
+}
+
+// JobStatus is the public snapshot of one job, and the JSON shape of
+// GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID          string    `json:"id"`
+	State       State     `json:"state"`
+	Workload    string    `json:"workload"`
+	Scale       string    `json:"scale"`
+	Strategy    string    `json:"strategy"`
+	Policies    []string  `json:"policies"`
+	Eps         []float64 `json:"eps"`
+	Seed        uint64    `json:"seed"`
+	NoiseSigma  float64   `json:"noiseSigma"`
+	Extrapolate bool      `json:"extrapolate"`
+	// WarmStart reports whether the job actually applied a stored prior
+	// (requested warm start AND the store had one for the workload).
+	WarmStart   bool      `json:"warmStart"`
+	SweepsDone  int       `json:"sweepsDone"`
+	SweepsTotal int       `json:"sweepsTotal"`
+	Error       string    `json:"error,omitempty"`
+	Submitted   time.Time `json:"submitted"`
+	Started     time.Time `json:"started,omitzero"`
+	Finished    time.Time `json:"finished,omitzero"`
+}
+
+// job is the scheduler's internal record of one submission.
+type job struct {
+	id   string
+	spec *jobSpec
+
+	mu          sync.Mutex
+	state       State
+	err         error
+	envelope    *autotune.Envelope
+	events      []Event
+	subs        map[int]chan Event
+	nextSub     int
+	cancel      context.CancelFunc // set while running
+	warmApplied bool
+	sweepsDone  int
+	sweepsTotal int
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	done        chan struct{} // closed on terminal state
+}
+
+// emitLocked appends an event and fans it out to subscribers. Callers hold
+// j.mu. Subscriber channels are buffered to the job's maximal event count,
+// so sends never block.
+func (j *job) emitLocked(ev Event) {
+	j.events = append(j.events, ev)
+	for _, ch := range j.subs {
+		ch <- ev
+	}
+}
+
+// maxEvents bounds how many events one job can emit: queued + started +
+// one per sweep + one terminal.
+func (j *job) maxEvents() int { return j.sweepsTotal + 3 }
+
+// closeSubsLocked detaches and closes every subscriber channel after the
+// terminal event has been emitted. Callers hold j.mu.
+func (j *job) closeSubsLocked() {
+	for idx, ch := range j.subs {
+		delete(j.subs, idx)
+		close(ch)
+	}
+}
+
+// statusLocked snapshots the job. Callers hold j.mu.
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Workload:    j.spec.workload.Name(),
+		Scale:       j.spec.scaleName,
+		Strategy:    j.spec.strategy.Name(),
+		Policies:    append([]string(nil), j.spec.policyNames...),
+		Eps:         append([]float64(nil), j.spec.eps...),
+		Seed:        j.spec.seed,
+		NoiseSigma:  j.spec.noise,
+		Extrapolate: j.spec.extrapolate,
+		WarmStart:   j.warmApplied,
+		SweepsDone:  j.sweepsDone,
+		SweepsTotal: j.sweepsTotal,
+		Submitted:   j.submitted,
+		Started:     j.started,
+		Finished:    j.finished,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	// Registry resolves job workloads; nil means the process-global
+	// default registry.
+	Registry *workload.Registry
+	// Machine is the simulated machine model; its NoiseSigma is
+	// overridden per job. The zero value means sim.DefaultMachine().
+	Machine sim.Machine
+	// QueueSize bounds the pending-job queue; Submit fails with
+	// ErrQueueFull beyond it. 0 means 16.
+	QueueSize int
+	// Runners is how many jobs execute concurrently. 0 means 1: jobs run
+	// strictly in submission order, each one's profile warm-starting the
+	// next.
+	Runners int
+	// Workers bounds each job's sweep pool (Tuner.Workers); 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Store accumulates learned profiles across jobs; nil means a fresh
+	// store private to this scheduler.
+	Store *ProfileStore
+	// MaxHistory bounds how many finished (terminal) jobs are retained
+	// for Status/Result lookups; beyond it the oldest terminal jobs are
+	// evicted, envelopes and event histories included, so a long-running
+	// server cannot grow without bound. Queued and running jobs never
+	// count against it. 0 means 256; negative disables eviction.
+	MaxHistory int
+}
+
+// ErrQueueFull is returned by Submit when the bounded job queue is at
+// capacity.
+var ErrQueueFull = errors.New("service: job queue is full")
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("service: scheduler is shutting down")
+
+// ErrFinished is returned by Cancel for jobs already in a terminal state.
+var ErrFinished = errors.New("service: job already finished")
+
+// Scheduler executes submitted tuning jobs on a fixed set of runner
+// goroutines, with a bounded queue, per-job cancellation, completion-order
+// progress events, and a shared warm-start profile store.
+type Scheduler struct {
+	cfg     Config
+	reg     *workload.Registry
+	store   *ProfileStore
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	// mu guards everything below; cond (tied to mu) wakes runners when
+	// pending grows or the scheduler closes. Lock order: mu before any
+	// job's mu — runners release mu before touching the popped job.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*job // the bounded queue; canceling a queued job removes it here
+	jobs    map[string]*job
+	order   []string
+	nextID  int
+	closed  bool
+}
+
+// New starts a scheduler: its runner goroutines live until Close.
+func New(cfg Config) *Scheduler {
+	if cfg.Registry == nil {
+		cfg.Registry = workload.Default()
+	}
+	if (cfg.Machine == sim.Machine{}) {
+		cfg.Machine = sim.DefaultMachine()
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 16
+	}
+	if cfg.Runners <= 0 {
+		cfg.Runners = 1
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewProfileStore()
+	}
+	if cfg.MaxHistory == 0 {
+		cfg.MaxHistory = 256
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		store:   cfg.Store,
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    make(map[string]*job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Runners; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j, ok := s.nextJob()
+				if !ok {
+					return
+				}
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// nextJob blocks until a pending job is available or the scheduler is
+// closed and drained.
+func (s *Scheduler) nextJob() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pending) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.pending) == 0 {
+		return nil, false
+	}
+	j := s.pending[0]
+	s.pending = s.pending[1:]
+	return j, true
+}
+
+// Store returns the scheduler's shared profile store.
+func (s *Scheduler) Store() *ProfileStore { return s.store }
+
+// Registry returns the registry jobs resolve workloads against.
+func (s *Scheduler) Registry() *workload.Registry { return s.reg }
+
+// SubmitJSON parses, validates, and enqueues a JSON job submission (the
+// body of POST /v1/jobs). Validation failures are returned verbatim for
+// the HTTP layer's 400; ErrQueueFull and ErrClosed map to 503.
+func (s *Scheduler) SubmitJSON(data []byte) (JobStatus, error) {
+	spec, err := ParseJobRequest(s.reg, data)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return s.submit(spec)
+}
+
+// submit enqueues a resolved spec.
+func (s *Scheduler) submit(spec *jobSpec) (JobStatus, error) {
+	j := &job{
+		spec:        spec,
+		state:       StateQueued,
+		subs:        make(map[int]chan Event),
+		sweepsTotal: len(spec.policies) * len(spec.eps),
+		submitted:   time.Now(),
+		done:        make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobStatus{}, ErrClosed
+	}
+	// The pending list is the bound: running jobs have left it, and
+	// canceled queued jobs are removed immediately, so capacity counts
+	// only work that is genuinely waiting.
+	if len(s.pending) >= s.cfg.QueueSize {
+		s.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	// Record the queued event before the job becomes reachable: once it
+	// is on the queue a runner may start it immediately, and "started"
+	// must never precede "queued" in the event history. The job is still
+	// private here, so no lock is needed for the append.
+	j.events = append(j.events, Event{Type: "queued", Job: j.id, Total: j.sweepsTotal})
+	s.pending = append(s.pending, j)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked(), nil
+}
+
+// lookup resolves a job by ID.
+func (s *Scheduler) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// pruneHistory evicts the oldest terminal jobs beyond MaxHistory. Called
+// after a job reaches a terminal state, outside any job lock (s.mu is
+// taken first, each candidate's j.mu second — the scheduler's lock
+// order).
+func (s *Scheduler) pruneHistory() {
+	if s.cfg.MaxHistory < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var terminal []string
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		isTerminal := j.state.terminal()
+		j.mu.Unlock()
+		if isTerminal {
+			terminal = append(terminal, id)
+		}
+	}
+	if len(terminal) <= s.cfg.MaxHistory {
+		return
+	}
+	evict := make(map[string]bool, len(terminal)-s.cfg.MaxHistory)
+	for _, id := range terminal[:len(terminal)-s.cfg.MaxHistory] {
+		evict[id] = true
+		delete(s.jobs, id)
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if !evict[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+}
+
+// Status snapshots a job.
+func (s *Scheduler) Status(id string) (JobStatus, bool) {
+	j, ok := s.lookup(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked(), true
+}
+
+// Jobs snapshots every job in submission order.
+func (s *Scheduler) Jobs() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if st, ok := s.Status(id); ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Result returns a finished job's envelope: the full self-describing
+// result of the run, partial grids included for failed jobs. It is nil
+// until the job reaches a terminal state (and stays nil for jobs canceled
+// before they started).
+func (s *Scheduler) Result(id string) (*autotune.Envelope, bool) {
+	j, ok := s.lookup(id)
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.envelope, true
+}
+
+// Cancel stops a job: a queued job is marked canceled and skipped when a
+// runner pops it; a running job's context is canceled, aborting its sweeps
+// at the next configuration boundary. Canceling a finished job returns
+// ErrFinished.
+func (s *Scheduler) Cancel(id string) (JobStatus, error) {
+	// Pull the job out of the pending queue first (s.mu strictly before
+	// j.mu): a canceled queued job must free its queue slot immediately,
+	// not when a busy runner eventually pops and discards it.
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	var retErr error
+	prune := false
+	switch {
+	case j.state == StateQueued:
+		// Either removed from pending above, or popped by a runner that
+		// has not started it yet — the runner's own state check will
+		// skip it either way.
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		j.emitLocked(Event{Type: "canceled", Job: j.id, Done: j.sweepsDone, Total: j.sweepsTotal, Error: j.err.Error()})
+		j.closeSubsLocked()
+		close(j.done)
+		prune = true
+	case j.state == StateRunning:
+		// The terminal transition happens in runJob when the stream
+		// drains; this just triggers it.
+		j.cancel()
+	default:
+		retErr = ErrFinished
+	}
+	st := j.statusLocked()
+	j.mu.Unlock()
+	if prune {
+		// Outside j.mu: pruning takes s.mu first, then job locks (the
+		// scheduler's lock order).
+		s.pruneHistory()
+	}
+	return st, retErr
+}
+
+// Subscribe returns a replay of the job's past events plus a live channel
+// for the rest, and an unsubscribe func. The live channel is nil when the
+// job is already terminal (the replay is complete); otherwise it is closed
+// after the terminal event is delivered.
+func (s *Scheduler) Subscribe(id string) (past []Event, live <-chan Event, unsubscribe func(), ok bool) {
+	j, found := s.lookup(id)
+	if !found {
+		return nil, nil, nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	past = append([]Event(nil), j.events...)
+	if j.state.terminal() {
+		return past, nil, func() {}, true
+	}
+	ch := make(chan Event, j.maxEvents())
+	idx := j.nextSub
+	j.nextSub++
+	j.subs[idx] = ch
+	unsubscribe = func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, still := j.subs[idx]; still {
+			delete(j.subs, idx)
+			close(ch)
+		}
+	}
+	return past, ch, unsubscribe, true
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx is done) and
+// returns its final status.
+func (s *Scheduler) Wait(ctx context.Context, id string) (JobStatus, error) {
+	j, ok := s.lookup(id)
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	st, _ := s.Status(id)
+	return st, nil
+}
+
+// Close shuts the scheduler down gracefully: no new submissions, queued
+// and running jobs are given until ctx is done to finish, then everything
+// still running is canceled. Close returns when every runner has exited.
+func (s *Scheduler) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.stop() // cancels every running job's context
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// runJob executes one popped job end to end on the calling runner.
+func (s *Scheduler) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	spec := j.spec
+	var prior *critter.Profile
+	if spec.warm {
+		prior = s.store.Get(spec.workload.Name())
+	}
+
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while queued: never started.
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.warmApplied = prior != nil
+	j.started = time.Now()
+	j.emitLocked(Event{Type: "started", Job: j.id, Total: j.sweepsTotal})
+	j.mu.Unlock()
+
+	study := spec.workload.Build(spec.scale)
+	machine := s.cfg.Machine
+	machine.NoiseSigma = spec.noise
+	tn := autotune.Tuner{
+		Study:       study,
+		EpsList:     spec.eps,
+		Machine:     machine,
+		Seed:        spec.seed,
+		Policies:    spec.policies,
+		Strategy:    spec.strategy,
+		Prior:       prior,
+		Extrapolate: spec.extrapolate,
+		Workers:     s.cfg.Workers,
+	}
+
+	// Stream the grid: sweeps arrive in completion order for the event
+	// feed and are placed back into their (policy, eps) cells, rebuilding
+	// exactly the grid Tuner.Run would have returned (failed cells
+	// zeroed).
+	res := &autotune.Result{
+		Study:    study.Name,
+		Strategy: spec.strategy.Name(),
+		Policies: spec.policies,
+		EpsList:  spec.eps,
+		Sweeps:   make([][]autotune.SweepResult, len(spec.policies)),
+	}
+	filled := make([][]bool, len(spec.policies))
+	for pi := range res.Sweeps {
+		res.Sweeps[pi] = make([]autotune.SweepResult, len(spec.eps))
+		filled[pi] = make([]bool, len(spec.eps))
+	}
+	var errs []error
+	for sw, err := range tn.Stream(ctx) {
+		if err == nil {
+			placeSweep(res, filled, sw)
+		} else {
+			errs = append(errs, err)
+		}
+		j.mu.Lock()
+		j.sweepsDone++
+		ev := Event{
+			Type: "sweep", Job: j.id,
+			Policy: sw.Policy.String(), Eps: sw.Eps,
+			Done: j.sweepsDone, Total: j.sweepsTotal,
+			Executed: sw.Executed, Skipped: sw.Skipped,
+		}
+		if err != nil {
+			ev.Error = err.Error()
+		}
+		j.emitLocked(ev)
+		j.mu.Unlock()
+	}
+
+	// What the job learned feeds the store, partial grids included: a
+	// timed-out run's completed sweeps are still valid statistics.
+	merged := autotune.MergedProfile(res)
+	s.store.Merge(spec.workload.Name(), merged)
+
+	env := &autotune.Envelope{
+		SchemaVersion: autotune.ResultSchemaVersion,
+		Study:         study.Name,
+		Scale:         spec.scaleName,
+		Seed:          spec.seed,
+		NoiseSigma:    spec.noise,
+		Strategy:      spec.strategy.Name(),
+		Profiles:      autotune.ProfileSummaries(res),
+		Result:        res,
+	}
+	if prior != nil {
+		sum := autotune.Summarize("", 0, prior)
+		env.Prior = &sum
+	}
+
+	err := errors.Join(errs...)
+	state := StateDone
+	typ := "done"
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		state, typ = StateCanceled, "canceled"
+	default:
+		state, typ = StateFailed, "failed"
+	}
+
+	j.mu.Lock()
+	j.state = state
+	j.err = err
+	j.envelope = env
+	j.finished = time.Now()
+	ev := Event{Type: typ, Job: j.id, Done: j.sweepsDone, Total: j.sweepsTotal}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	j.emitLocked(ev)
+	j.closeSubsLocked()
+	close(j.done)
+	j.mu.Unlock()
+
+	s.pruneHistory()
+}
+
+// placeSweep stores a completed sweep into its (policy, eps) grid cell.
+// With duplicate tolerances in the eps list the first unfilled matching
+// cell wins — identical cells run identical worlds, so the values are
+// interchangeable.
+func placeSweep(res *autotune.Result, filled [][]bool, sw autotune.SweepResult) {
+	for pi, pol := range res.Policies {
+		if pol != sw.Policy {
+			continue
+		}
+		for ei, eps := range res.EpsList {
+			if eps == sw.Eps && !filled[pi][ei] {
+				res.Sweeps[pi][ei] = sw
+				filled[pi][ei] = true
+				return
+			}
+		}
+	}
+}

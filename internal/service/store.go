@@ -1,0 +1,60 @@
+package service
+
+import (
+	"sort"
+	"sync"
+
+	"critter/internal/critter"
+)
+
+// ProfileStore accumulates the learned kernel profiles of completed jobs,
+// keyed by workload name. Later jobs on the same workload warm-start from
+// the merged prior, so a service that keeps tuning the same problems
+// executes fewer and fewer kernels — the in-memory form of the
+// transfer-learning loop that critter-tune's -profile-in/-profile-out pair
+// runs through files.
+//
+// Merging goes through critter.MergeProfiles, which returns a fresh
+// artifact, so a profile handed out by Get is immutable: jobs holding it
+// as their prior never observe later merges.
+type ProfileStore struct {
+	mu         sync.RWMutex
+	byWorkload map[string]*critter.Profile
+}
+
+// NewProfileStore returns an empty store.
+func NewProfileStore() *ProfileStore {
+	return &ProfileStore{byWorkload: make(map[string]*critter.Profile)}
+}
+
+// Get returns the merged profile accumulated for a workload, or nil when
+// no job has contributed yet. The returned profile is never mutated by the
+// store; it is safe to share across concurrently running jobs.
+func (s *ProfileStore) Get(workload string) *critter.Profile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byWorkload[workload]
+}
+
+// Merge folds p into the workload's accumulated profile. A nil p is a
+// no-op, so callers can pass a failed sweep's absent export unconditionally.
+func (s *ProfileStore) Merge(workload string, p *critter.Profile) {
+	if p == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byWorkload[workload] = critter.MergeProfiles(s.byWorkload[workload], p)
+}
+
+// Workloads returns the names with accumulated profiles, sorted.
+func (s *ProfileStore) Workloads() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byWorkload))
+	for name := range s.byWorkload {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

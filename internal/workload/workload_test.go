@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"critter/internal/autotune"
+	"critter/internal/critter"
+)
+
+// TestDefaultRegistryContents pins the shipped catalog: the paper's four
+// case studies plus the two example workloads, in registration order.
+func TestDefaultRegistryContents(t *testing.T) {
+	want := []string{"capital", "slate-chol", "candmc", "slate-qr", "cholesky3d", "qr2d"}
+	got := Names()
+	if len(got) < len(want) {
+		t.Fatalf("default registry has %v, want at least %v", got, want)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("default registry order %v, want prefix %v", got, want)
+		}
+	}
+	for _, name := range want {
+		w, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", name)
+		}
+		if w.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, w.Name())
+		}
+		if w.Describe() == "" {
+			t.Errorf("workload %q has no description", name)
+		}
+		if len(w.Policies()) == 0 {
+			t.Errorf("workload %q declares no default policies", name)
+		}
+		if len(w.Scales()) == 0 {
+			t.Errorf("workload %q declares no scale presets", name)
+		}
+		for _, preset := range w.Scales() {
+			st := w.Build(preset.Scale)
+			if st.Size() <= 0 || st.WorldSize <= 0 || st.Run == nil {
+				t.Errorf("workload %q at scale %q builds a degenerate study", name, preset.Name)
+			}
+			if sp := w.Space(preset.Scale); sp.Size() != st.Size() {
+				t.Errorf("workload %q at scale %q: Space size %d != study size %d",
+					name, preset.Name, sp.Size(), st.Size())
+			}
+		}
+	}
+}
+
+// TestBuildsMatchConstructors proves registry resolution is the same
+// studies the constructors build — the property the golden-envelope tests
+// rely on.
+func TestBuildsMatchConstructors(t *testing.T) {
+	q := autotune.QuickScale()
+	cases := []struct {
+		workload string
+		study    autotune.Study
+	}{
+		{"capital", autotune.CapitalCholesky(q)},
+		{"slate-chol", autotune.SlateCholesky(q)},
+		{"candmc", autotune.CandmcQR(q)},
+		{"slate-qr", autotune.SlateQR(q)},
+		{"cholesky3d", autotune.CapitalCholesky(q)},
+		{"qr2d", autotune.CandmcQR(q)},
+	}
+	for _, tc := range cases {
+		st, err := ParseStudy(nil, tc.workload, q)
+		if err != nil {
+			t.Fatalf("ParseStudy(%q): %v", tc.workload, err)
+		}
+		if st.Name != tc.study.Name || st.Size() != tc.study.Size() || st.WorldSize != tc.study.WorldSize {
+			t.Errorf("ParseStudy(%q) = {%s %d %d}, want {%s %d %d}",
+				tc.workload, st.Name, st.Size(), st.WorldSize,
+				tc.study.Name, tc.study.Size(), tc.study.WorldSize)
+		}
+	}
+}
+
+// TestExampleWorkloadPolicies pins the example workloads' declared default
+// policies: the comparisons their example mains print.
+func TestExampleWorkloadPolicies(t *testing.T) {
+	cases := map[string][]critter.Policy{
+		"cholesky3d": {critter.Conditional, critter.Eager},
+		"qr2d":       {critter.Online},
+	}
+	for name, want := range cases {
+		w, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", name)
+		}
+		got := w.Policies()
+		if len(got) != len(want) {
+			t.Fatalf("%s policies = %v, want %v", name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s policies = %v, want %v", name, got, want)
+			}
+		}
+	}
+}
+
+// TestRegistryErrors covers the namespace rules: empty names, duplicates,
+// and nil registrations are rejected.
+func TestRegistryErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(nil); err == nil {
+		t.Error("Register(nil) succeeded")
+	}
+	if err := r.Register(Def{WorkloadName: ""}); err == nil {
+		t.Error("Register with empty name succeeded")
+	}
+	if err := r.Register(Def{WorkloadName: "no-builder"}); err == nil {
+		t.Error("Register of a Def without BuildFunc succeeded")
+	}
+	if err := r.Register(&Def{WorkloadName: "no-builder-ptr"}); err == nil {
+		t.Error("Register of a *Def without BuildFunc succeeded")
+	}
+	if err := r.Register((*Def)(nil)); err == nil {
+		t.Error("Register of a typed-nil *Def succeeded")
+	}
+	if err := r.Register(noScales{}); err == nil {
+		t.Error("Register of a workload with no scale presets succeeded")
+	}
+	def := Def{WorkloadName: "x", BuildFunc: autotune.CandmcQR}
+	if err := r.Register(def); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Register(def); err == nil {
+		t.Error("duplicate Register succeeded")
+	}
+	if _, ok := r.Lookup("x"); !ok {
+		t.Error("Lookup after Register failed")
+	}
+	if n := len(r.List()); n != 1 {
+		t.Errorf("List length = %d, want 1", n)
+	}
+}
+
+// noScales is a hand-rolled Workload that declares no scale presets —
+// invalid, and rejected at registration.
+type noScales struct{}
+
+func (noScales) Name() string                          { return "no-scales" }
+func (noScales) Describe() string                      { return "invalid test workload" }
+func (noScales) Space(s autotune.Scale) autotune.Space { return autotune.Space{} }
+func (noScales) Build(s autotune.Scale) autotune.Study { return autotune.Study{} }
+func (noScales) Policies() []critter.Policy            { return nil }
+func (noScales) Scales() []ScalePreset                 { return nil }
+
+// TestParseStudyErrorEnumerates checks the unknown-workload error names
+// every registered workload, mirroring the old switch-based message.
+func TestParseStudyErrorEnumerates(t *testing.T) {
+	_, err := ParseStudy(nil, "bogus", autotune.QuickScale())
+	if err == nil {
+		t.Fatal("ParseStudy(bogus) succeeded")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not enumerate workload %q", err, name)
+		}
+	}
+}
+
+// TestParseScaleErrorEnumerates checks the unknown-scale error enumerates
+// the declared preset names (the registry-backed form of the satellite
+// requirement).
+func TestParseScaleErrorEnumerates(t *testing.T) {
+	if _, err := ParseScale("default"); err != nil {
+		t.Fatalf("ParseScale(default): %v", err)
+	}
+	if _, err := ParseScale("quick"); err != nil {
+		t.Fatalf("ParseScale(quick): %v", err)
+	}
+	_, err := ParseScale("bogus")
+	if err == nil {
+		t.Fatal("ParseScale(bogus) succeeded")
+	}
+	for _, name := range []string{"default", "quick"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not enumerate scale %q", err, name)
+		}
+	}
+
+	// Per-workload resolution enumerates that workload's own presets.
+	w, _ := Lookup("candmc")
+	_, err = ScaleOf(w, "huge")
+	if err == nil || !strings.Contains(err.Error(), "default") || !strings.Contains(err.Error(), "quick") {
+		t.Errorf("ScaleOf error %q does not enumerate candmc's presets", err)
+	}
+}
+
+// TestResolveStudy covers the combined name-to-study path the CLIs use:
+// the scale namespace is the chosen workload's own presets.
+func TestResolveStudy(t *testing.T) {
+	st, err := ResolveStudy(nil, "candmc", "quick")
+	if err != nil || st.Name != "candmc-qr" {
+		t.Fatalf("ResolveStudy(candmc, quick) = %q, %v", st.Name, err)
+	}
+	if _, err := ResolveStudy(nil, "bogus", "quick"); err == nil || !strings.Contains(err.Error(), "candmc") {
+		t.Errorf("unknown workload error %v does not enumerate the catalog", err)
+	}
+	if _, err := ResolveStudy(nil, "candmc", "huge"); err == nil || !strings.Contains(err.Error(), "quick") {
+		t.Errorf("unknown scale error %v does not enumerate candmc's presets", err)
+	}
+
+	// A preset declared by one workload does not leak into another's
+	// namespace through this path.
+	reg := NewRegistry()
+	for _, d := range []Def{
+		{WorkloadName: "a", BuildFunc: autotune.CandmcQR,
+			ScalePresets: []ScalePreset{{Name: "tiny", Scale: autotune.QuickScale()}}},
+		{WorkloadName: "b", BuildFunc: autotune.CandmcQR},
+	} {
+		if err := reg.Register(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ResolveStudy(reg, "b", "tiny"); err == nil {
+		t.Error("workload a's preset resolved for workload b")
+	}
+	if _, err := ResolveStudy(reg, "a", "tiny"); err != nil {
+		t.Errorf("workload a's own preset failed to resolve: %v", err)
+	}
+}
+
+// TestAutotuneParsersDelegate checks the legacy autotune surface is a thin
+// wrapper over this registry: same resolutions, same failures.
+func TestAutotuneParsersDelegate(t *testing.T) {
+	q := autotune.QuickScale()
+	st, err := autotune.ParseStudy("qr2d", q)
+	if err != nil {
+		t.Fatalf("autotune.ParseStudy(qr2d): %v", err)
+	}
+	if st.Name != "candmc-qr" {
+		t.Errorf("autotune.ParseStudy(qr2d).Name = %q", st.Name)
+	}
+	if _, err := autotune.ParseStudy("bogus", q); err == nil {
+		t.Error("autotune.ParseStudy(bogus) succeeded")
+	}
+	if _, err := autotune.ParseScale("quick"); err != nil {
+		t.Errorf("autotune.ParseScale(quick): %v", err)
+	}
+	if _, err := autotune.ParseScale("bogus"); err == nil {
+		t.Error("autotune.ParseScale(bogus) succeeded")
+	}
+}
+
+// TestREADMEWorkloadTable pins the README's generated workload table to
+// MarkdownTable's output: regenerating the docs is running this test with
+// the new output pasted between the markers.
+func TestREADMEWorkloadTable(t *testing.T) {
+	const begin = "<!-- BEGIN WORKLOAD TABLE (generated: go test ./internal/workload -run TestREADMEWorkloadTable) -->\n"
+	const end = "<!-- END WORKLOAD TABLE -->"
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(readme)
+	i := strings.Index(s, begin)
+	if i < 0 {
+		t.Fatalf("README.md is missing the %q marker", strings.TrimSpace(begin))
+	}
+	rest := s[i+len(begin):]
+	j := strings.Index(rest, end)
+	if j < 0 {
+		t.Fatalf("README.md is missing the %q marker", end)
+	}
+	if got, want := rest[:j], MarkdownTable(nil); got != want {
+		t.Errorf("README workload table is stale; regenerate it from MarkdownTable:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the critter-serve HTTP service, run by CI:
+#
+#   1. build and boot critter-serve on a kernel-chosen port,
+#   2. submit a quick-scale candmc job matching the golden-envelope
+#      parameters (seed 42, noise 0.05, eps 0.5+0.125, exhaustive,
+#      default policies, cold),
+#   3. follow the SSE event stream until the terminal `event: done`,
+#   4. fetch the result envelope and diff its grid byte-for-byte against
+#      the committed golden grid with cmd/envelopediff,
+#   5. check the accumulated profile endpoint serves a decodable profile,
+#   6. shut the server down gracefully (SIGTERM) and require a clean exit.
+#
+# Usage: scripts/service-smoke.sh  (from the repository root)
+set -euo pipefail
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "=== build"
+go build -o "$workdir/critter-serve" ./cmd/critter-serve
+
+echo "=== boot"
+"$workdir/critter-serve" -addr 127.0.0.1:0 >"$workdir/serve.log" 2>&1 &
+server_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+  base=$(sed -n 's/^critter-serve: listening on \(http:\/\/.*\)$/\1/p' "$workdir/serve.log" | head -n 1)
+  [[ -n "$base" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "server died:"; cat "$workdir/serve.log"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$base" ]] || { echo "server never announced its address:"; cat "$workdir/serve.log"; exit 1; }
+echo "server at $base"
+
+echo "=== catalog"
+curl -fsS "$base/v1/workloads" | tee "$workdir/workloads.json" | grep -q '"candmc"'
+
+echo "=== submit (quick-scale candmc, golden parameters)"
+curl -fsS -X POST "$base/v1/jobs" -H 'Content-Type: application/json' -d '{
+  "workload": "candmc", "scale": "quick",
+  "eps": [0.5, 0.125], "seed": 42, "noiseSigma": 0.05,
+  "strategy": "exhaustive", "warmStart": false
+}' | tee "$workdir/submit.json"
+echo
+job=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$workdir/submit.json" | head -n 1)
+[[ -n "$job" ]] || { echo "no job id in submit response"; exit 1; }
+echo "submitted $job"
+
+echo "=== follow SSE to completion"
+# The stream ends by itself after the terminal event; --max-time bounds a
+# hang, and the last event must be `done` (not failed/canceled).
+curl -fsSN --max-time 600 "$base/v1/jobs/$job/events" | tee "$workdir/events.sse"
+grep -q '^event: sweep$' "$workdir/events.sse"
+last_event=$(grep '^event: ' "$workdir/events.sse" | tail -n 1)
+[[ "$last_event" == "event: done" ]] || { echo "stream ended with '$last_event', want 'event: done'"; exit 1; }
+
+echo "=== diff the served envelope against the committed golden grid"
+curl -fsS "$base/v1/jobs/$job/result" >"$workdir/result.json"
+go run ./cmd/envelopediff \
+  -golden internal/autotune/testdata/envelope_candmc_exhaustive.golden.json \
+  "$workdir/result.json"
+
+echo "=== accumulated profile is served and non-trivial"
+curl -fsS "$base/v1/profiles/candmc" >"$workdir/profile.json"
+grep -q '"schemaVersion"' "$workdir/profile.json"
+grep -q '"kernels"' "$workdir/profile.json"
+
+echo "=== graceful shutdown"
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  echo "server ignored SIGTERM"; exit 1
+fi
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+grep -q 'shutting down' "$workdir/serve.log"
+
+echo "service smoke test passed"
