@@ -1,0 +1,187 @@
+package analysis
+
+// The fixture harness mirrors golang.org/x/tools/go/analysis/analysistest:
+// each testdata/<analyzer> directory is one Go package annotated with
+//
+//	// want "regexp"
+//
+// comments on the lines where diagnostics are expected (several per line
+// allowed). The harness loads the fixture under a chosen import path — so
+// one fixture can impersonate a deterministic layer or an exempt one — runs
+// the analyzer, and requires an exact match: every want satisfied, every
+// diagnostic wanted.
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches one `// want "..."` expectation; quotes inside the pattern
+// are not supported (none of the fixtures need them).
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+type expectation struct {
+	file string // basename
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), line, m[1], err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: line, re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// checkFixture loads testdata/<name> under importPath, runs the analyzers,
+// and matches diagnostics against the fixture's want comments. When
+// expectDiags is false the fixture's wants are ignored and any diagnostic
+// at all is an error (the exempt-layer negative case).
+func checkFixture(t *testing.T, analyzers []*Analyzer, name, importPath string, expectDiags bool) {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	pkg, err := LoadFixture(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzers(analyzers, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expectDiags {
+		for _, d := range diags {
+			t.Errorf("%s as %s: unexpected diagnostic %s: %s (%s)",
+				name, importPath, pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		return
+	}
+	wants := collectWants(t, dir)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == filepath.Base(pos.Filename) && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic %s: %s (%s)", name, pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", name, w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDetRand(t *testing.T) {
+	suite := []*Analyzer{DetRand}
+	checkFixture(t, suite, "detrand", "critter/internal/sim", true)
+	// The same file is clean when it lives in an exempt layer.
+	checkFixture(t, suite, "detrand", "critter/internal/service", false)
+}
+
+func TestMapOrder(t *testing.T) {
+	suite := []*Analyzer{MapOrder}
+	checkFixture(t, suite, "maporder", "critter/internal/critter", true)
+	checkFixture(t, suite, "maporder", "critter/internal/service", false)
+}
+
+func TestFabricLock(t *testing.T) {
+	suite := []*Analyzer{FabricLock}
+	checkFixture(t, suite, "fabriclock", "critter/internal/mpi", true)
+	// Any other package may synchronize however it likes.
+	checkFixture(t, suite, "fabriclock", "critter/internal/critter", false)
+}
+
+func TestSchemaTag(t *testing.T) {
+	checkFixture(t, []*Analyzer{SchemaTag}, "schematag", "critter/internal/autotune", true)
+}
+
+func TestCtxFirst(t *testing.T) {
+	checkFixture(t, []*Analyzer{CtxFirst}, "ctxfirst", "critter/internal/autotune", true)
+}
+
+func TestLintAllow(t *testing.T) {
+	// The allow fixture holds real violations: one suppressed by a
+	// well-formed //lint:allow with a reason, one annotated with a bare
+	// directive that must NOT suppress.
+	checkFixture(t, []*Analyzer{DetRand, MapOrder}, "allow", "critter/internal/sim", true)
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := ByName("detrand, maporder")
+	if err != nil || len(two) != 2 || two[0] != DetRand || two[1] != MapOrder {
+		t.Fatalf("ByName subset = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) did not error")
+	}
+}
+
+// TestRepoIsClean is the meta-test: the full suite over the whole module
+// must be finding-free, so the invariant list and the tree cannot drift
+// apart. A new violation anywhere fails this test with the offending line.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadPatterns(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages; loader is dropping targets", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(All(), pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s (%s)", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxFirst enforces the Go convention that a context.Context parameter is
+// the first parameter. The tuner, sweep executor, and service layer all
+// plumb cancellation through explicit contexts (Tuner.Run, Stream,
+// Scheduler submission); keeping ctx first keeps that plumbing greppable
+// and prevents the "context buried in an options struct three params in"
+// drift that makes cancellation paths invisible in review.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context parameters must come first",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft = n.Type
+			case *ast.FuncLit:
+				ft = n.Type
+			case *ast.InterfaceType:
+				for _, m := range n.Methods.List {
+					if mft, ok := m.Type.(*ast.FuncType); ok {
+						checkCtxFirst(pass, mft)
+					}
+				}
+				return true
+			default:
+				return true
+			}
+			checkCtxFirst(pass, ft)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCtxFirst(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	// Walk parameters left to right; a field list entry may declare several
+	// names, so track the positional index explicitly.
+	index := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if ok && isNamedType(tv.Type, "context", "Context") && index > 0 {
+			pass.Reportf(field.Type.Pos(),
+				"context.Context is parameter %d; it must be the first parameter", index+1)
+		}
+		index += n
+	}
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// DetRand forbids wall-clock reads and global math/rand draws in the
+// deterministic layers. The simulation's reproducibility contract — a
+// fixed seed yields bitwise-identical envelopes at any worker count — only
+// holds because every timestamp comes from the per-rank virtual clock
+// (sim.Clock) and every random variate from a seeded splitmix64 stream
+// (sim.RNG). One stray time.Now or rand.Float64 silently breaks golden
+// byte-identity; only internal/service and the binaries may touch real
+// time. Explicitly seeded generators (rand.New(rand.NewSource(seed))) are
+// fine and stay allowed.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock and global math/rand use in the deterministic layers",
+	Run:  runDetRand,
+}
+
+// wallClock lists the time-package functions that read the real clock or
+// arm real timers. Pure constructors and arithmetic (time.Duration,
+// time.Date, t.Add, Parse...) are allowed: they are deterministic.
+var wallClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func runDetRand(pass *Pass) error {
+	if !deterministicLayer(pass.Pkg.Path()) {
+		return nil
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClock[fn.Name()] {
+				pass.Reportf(id.Pos(),
+					"time.%s reads the wall clock in a deterministic layer; use the virtual clock (sim.Clock) — only internal/service and cmd/ may touch real time",
+					fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			// Top-level functions draw from the process-global source; the
+			// New* constructors build explicitly seeded generators, which
+			// is exactly the sanctioned pattern.
+			if !strings.HasPrefix(fn.Name(), "New") {
+				pass.Reportf(id.Pos(),
+					"%s.%s draws from the process-global random source in a deterministic layer; seed a sim.RNG (or rand.New with a fixed seed) instead",
+					fn.Pkg().Path(), fn.Name())
+			}
+		}
+	}
+	return nil
+}

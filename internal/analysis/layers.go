@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// The repo's layering contract, shared by the analyzers:
+//
+// Everything under the module — the root critter package and
+// critter/internal/... — is a *deterministic layer*: it runs inside the
+// virtual-time simulation or transforms its outputs, so wall-clock reads,
+// global randomness, and map-iteration-order-dependent work are all bugs
+// that break bit-identical envelopes. The only layers allowed to touch
+// real time are the service layer (job timestamps, SSE), the binaries
+// under cmd/, the examples, and this tooling package itself.
+
+// exemptLayers are module packages allowed to read the wall clock and
+// iterate maps in arbitrary order.
+var exemptLayers = map[string]bool{
+	"critter/internal/service":  true,
+	"critter/internal/analysis": true,
+}
+
+// deterministicLayer reports whether the package at path is bound by the
+// determinism invariants (detrand, maporder).
+func deterministicLayer(path string) bool {
+	path = basePath(path)
+	if exemptLayers[path] {
+		return false
+	}
+	if path == "critter" {
+		return true
+	}
+	return strings.HasPrefix(path, "critter/internal/")
+}
+
+// basePath strips the loader's "_test" suffix from external test units so
+// layer predicates treat them like their base package.
+func basePath(path string) string { return strings.TrimSuffix(path, "_test") }
+
+// fileBase returns the basename of the file containing pos.
+func fileBase(fset *token.FileSet, pos token.Pos) string {
+	return filepath.Base(fset.Position(pos).Filename)
+}
+
+// isTestFile reports whether f is a _test.go file.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}
+
+// calleeFunc resolves a call's static callee to a *types.Func (package
+// function or method); nil for builtins, function values, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgFunc returns the name of the called package-level function when call
+// statically targets a function (not method) in the package at pkgPath.
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if fn.Signature().Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// rootIdent returns the leftmost identifier of an expression like
+// x, x.f, x.f[i], or (*x).f; nil when there is none.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the object behind expression e was
+// declared outside the [lo, hi] node span (i.e. it outlives the span).
+func declaredOutside(info *types.Info, e ast.Expr, lo, hi token.Pos) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lo || obj.Pos() > hi
+}
+
+// isNamedType reports whether t is the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

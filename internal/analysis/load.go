@@ -1,0 +1,294 @@
+package analysis
+
+// Package loading for the analyzer suite. The loader leans on the go
+// command itself (`go list -deps -test -export`) to enumerate packages,
+// pick build-constraint-relevant files, and produce compiled export data
+// for every dependency, then type-checks only the packages under analysis
+// from source. That keeps the suite on the standard library alone: imports
+// resolve through go/importer's gc export-data reader instead of a
+// vendored copy of golang.org/x/tools.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded analysis unit: a type-checked package with its
+// syntax. For ordinary packages the unit holds GoFiles plus in-package
+// test files; external test packages (package foo_test) load as their own
+// unit with Path "<path>_test".
+type Package struct {
+	// Path is the package's import path (with a "_test" suffix for
+	// external test units); layer predicates key off it.
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listing is the subset of `go list -json` output the loader consumes.
+type listing struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	ForTest      string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// realPath strips go list's test-variant suffix: the listing for a package
+// recompiled against a test build prints as "path [forTest.test]".
+func realPath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// exportSet resolves import paths to compiled export-data files, with the
+// test-variant overlay go list -test produces: an external test unit of
+// package P must see P (and anything recompiled against P's test build)
+// through the "[P.test]" variants so identifiers from in-package test
+// files resolve.
+type exportSet struct {
+	plain    map[string]string            // import path -> export file
+	variants map[string]map[string]string // forTest -> import path -> export file
+}
+
+func (e *exportSet) lookupFor(forTest string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if forTest != "" {
+			if file, ok := e.variants[forTest][path]; ok && file != "" {
+				return os.Open(file)
+			}
+		}
+		file, ok := e.plain[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON stream.
+func goList(dir string, args ...string) ([]*listing, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var out []*listing
+	dec := json.NewDecoder(&stdout)
+	for {
+		var l listing
+		if err := dec.Decode(&l); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		out = append(out, &l)
+	}
+	return out, nil
+}
+
+const listFields = "-json=ImportPath,Dir,Name,Standard,ForTest,Export,GoFiles,TestGoFiles,XTestGoFiles"
+
+// LoadPatterns loads every module package matching the go list patterns
+// (run from dir) as analysis units: one unit per package covering its
+// GoFiles and in-package test files, plus one unit per external test
+// package.
+func LoadPatterns(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	isTarget := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		isTarget[t.ImportPath] = true
+	}
+
+	// One sweep with -deps -test -export yields export data for every
+	// dependency (stdlib included) and every test-variant recompile.
+	all, err := goList(dir, append([]string{"-deps", "-test", "-export", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := &exportSet{plain: map[string]string{}, variants: map[string]map[string]string{}}
+	byPath := map[string]*listing{}
+	for _, l := range all {
+		if strings.HasSuffix(l.ImportPath, ".test") {
+			continue // synthesized test main
+		}
+		if l.ForTest != "" {
+			m := exports.variants[l.ForTest]
+			if m == nil {
+				m = map[string]string{}
+				exports.variants[l.ForTest] = m
+			}
+			m[realPath(l.ImportPath)] = l.Export
+			continue
+		}
+		exports.plain[l.ImportPath] = l.Export
+		if isTarget[l.ImportPath] {
+			byPath[l.ImportPath] = l
+		}
+	}
+
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, path := range paths {
+		l := byPath[path]
+		files := make([]string, 0, len(l.GoFiles)+len(l.TestGoFiles))
+		files = append(files, l.GoFiles...)
+		files = append(files, l.TestGoFiles...)
+		// The unit with in-package test files is a test-variant build:
+		// resolve its imports (and later, importers of it) accordingly.
+		forTest := ""
+		if len(l.TestGoFiles) > 0 {
+			forTest = l.ImportPath
+		}
+		pkg, err := checkFiles(fset, l.ImportPath, l.Dir, files, exports.lookupFor(forTest))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+
+		if len(l.XTestGoFiles) > 0 {
+			xpkg, err := checkFiles(fset, l.ImportPath+"_test", l.Dir, l.XTestGoFiles,
+				exports.lookupFor(l.ImportPath))
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xpkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadFixture loads one directory of Go files as a single package for
+// analyzer fixture tests. importPath is what layer predicates see, so a
+// fixture can impersonate e.g. "critter/internal/sim" or
+// "critter/internal/service".
+func LoadFixture(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	// Collect the fixture's imports and ask the go command for their
+	// export data (fixtures import only the standard library).
+	fset := token.NewFileSet()
+	imports := map[string]bool{}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			imports[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+	exports := &exportSet{plain: map[string]string{}}
+	if len(imports) > 0 {
+		args := []string{"-deps", "-export", listFields}
+		for p := range imports {
+			args = append(args, p)
+		}
+		sort.Strings(args[3:])
+		all, err := goList(dir, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range all {
+			exports.plain[l.ImportPath] = l.Export
+		}
+	}
+	return checkFiles(fset, importPath, dir, files, exports.lookupFor(""))
+}
+
+// checkFiles parses and type-checks one package's files, resolving imports
+// through compiled export data via the lookup function.
+func checkFiles(fset *token.FileSet, path, dir string, filenames []string, lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		full := name
+		if !filepath.IsAbs(full) {
+			full = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	gc := importer.ForCompiler(fset, "gc", lookup)
+	var typeErrs []string
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			if p == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return gc.Import(p)
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err.Error()) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s:\n\t%s", path, strings.Join(typeErrs, "\n\t"))
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

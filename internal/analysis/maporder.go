@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags order-sensitive work inside `range` over a map in the
+// deterministic layers. Go randomizes map iteration order per range, so any
+// loop body whose effect depends on visit order — appending to a slice that
+// outlives the loop, accumulating a float or string, or writing to an
+// output stream — produces run-to-run-different results and breaks the
+// golden envelopes' byte-identity.
+//
+// The sanctioned pattern (ubiquitous in internal/critter) is: collect into
+// a slice, sort it, then do the order-sensitive work over the sorted slice.
+// An append is therefore not flagged when the destination slice is passed
+// to a sort call (sort.Slice, slices.Sort, ...) later in the same function.
+// Commutative folds — integer counting, map writes keyed independently of
+// visit order, min/max via comparison — are order-insensitive and stay
+// allowed.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive work in range-over-map in the deterministic layers",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !deterministicLayer(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			// Tests compare and report in arbitrary order freely; the
+			// invariant protects envelopes, profiles, and logs, and the
+			// determinism tests themselves assert on sorted artifacts.
+			continue
+		}
+		// Track the enclosing function body so the post-loop sort check can
+		// scan the statements that follow the range loop.
+		var enclosing []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				enclosing = enclosing[:len(enclosing)-1]
+				return true
+			}
+			enclosing = append(enclosing, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass.TypesInfo, rs) {
+				return true
+			}
+			checkMapRange(pass, rs, enclosingFuncBody(enclosing))
+			return true
+		})
+	}
+	return nil
+}
+
+// isMapRange reports whether rs ranges over a value of map type.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing function
+// (declaration or literal) on the node stack, or nil.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range runs its own check; don't double-report
+			// its body against the outer loop.
+			if n != rs && isMapRange(info, n) {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, funcBody, n)
+		case *ast.CallExpr:
+			if name, ok := outputCall(info, n); ok {
+				pass.Reportf(n.Pos(),
+					"%s inside range over a map writes output in map iteration order; collect into a slice, sort it, then write", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(info, call) || i >= len(as.Lhs) {
+				continue
+			}
+			dst := as.Lhs[i]
+			if !declaredOutside(info, dst, rs.Pos(), rs.End()) {
+				continue // per-iteration temporary; order can't leak out
+			}
+			if sortedAfter(info, funcBody, rs.End(), rootIdent(dst)) {
+				continue // the sanctioned collect-then-sort pattern
+			}
+			pass.Reportf(call.Pos(),
+				"append to %s inside range over a map accumulates in map iteration order; sort %s after the loop (sort.Slice / slices.Sort) or iterate sorted keys",
+				exprText(dst), exprText(dst))
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) != 1 {
+			return
+		}
+		dst := as.Lhs[0]
+		if !declaredOutside(info, dst, rs.Pos(), rs.End()) {
+			return
+		}
+		tv, ok := info.Types[dst]
+		if !ok {
+			return
+		}
+		switch t := tv.Type.Underlying().(type) {
+		case *types.Basic:
+			switch {
+			case t.Info()&types.IsFloat != 0 || t.Info()&types.IsComplex != 0:
+				pass.Reportf(as.Pos(),
+					"float accumulation into %s inside range over a map is order-dependent (FP addition is non-associative); iterate sorted keys instead",
+					exprText(dst))
+			case t.Info()&types.IsString != 0:
+				pass.Reportf(as.Pos(),
+					"string concatenation into %s inside range over a map depends on map iteration order; iterate sorted keys instead",
+					exprText(dst))
+			}
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortFuncs are the sanctioned post-loop sorters: a flagged append is
+// forgiven when its destination reaches one of these later in the function.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether obj (the append destination's root object) is
+// referenced by a sanctioned sort call positioned after pos in funcBody.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, pos token.Pos, id *ast.Ident) bool {
+	if funcBody == nil || id == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		name, ok := pkgFuncIn(info, call, sortFuncs)
+		if !ok {
+			return true
+		}
+		_ = name
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if use, ok := m.(*ast.Ident); ok && info.Uses[use] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// pkgFuncIn resolves a call against a pkgPath -> allowed-names table.
+func pkgFuncIn(info *types.Info, call *ast.CallExpr, table map[string]map[string]bool) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+		return "", false
+	}
+	names := table[fn.Pkg().Path()]
+	if names == nil || !names[fn.Name()] {
+		return "", false
+	}
+	return fn.Pkg().Path() + "." + fn.Name(), true
+}
+
+// outputCall reports whether call writes to an output stream: fmt printers
+// bound to a writer/stdout, or Write*/Encode methods on a receiver.
+func outputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if name, ok := pkgFunc(info, call, "fmt"); ok {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Signature().Recv() == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "Printf", "Print", "Println":
+		return "(" + fn.Signature().Recv().Type().String() + ")." + fn.Name(), true
+	}
+	return "", false
+}
+
+// exprText renders a short expression (identifier or selector chain) for
+// diagnostics.
+func exprText(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprText(v.X)
+	}
+	return "expression"
+}

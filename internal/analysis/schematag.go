@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+	"strings"
+)
+
+// SchemaTag makes JSON schema drift compile-time visible: in any struct
+// that participates in a JSON schema (at least one field carries a `json`
+// tag), every exported non-embedded field must carry an explicit `json`
+// tag — including `json:"-"` for deliberate exclusions. The versioned
+// envelope, profile, and job request/response schemas are long-lived
+// on-disk and on-wire artifacts; a new untagged field would silently
+// marshal under its Go name and change the schema without anyone choosing
+// a wire name or bumping the schema version.
+var SchemaTag = &Analyzer{
+	Name: "schematag",
+	Doc:  "require explicit json tags on every exported field of JSON-schema structs",
+	Run:  runSchemaTag,
+}
+
+func runSchemaTag(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			if !hasJSONTag(st) {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if len(field.Names) == 0 {
+					continue // embedded fields inline their own schema
+				}
+				if _, tagged := jsonTag(field); tagged {
+					continue
+				}
+				for _, name := range field.Names {
+					if name.IsExported() {
+						pass.Reportf(name.Pos(),
+							"exported field %s of a JSON-schema struct has no json tag; choose a wire name explicitly (or exclude it with `json:\"-\"`)",
+							name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasJSONTag reports whether any field of the struct carries a json tag.
+func hasJSONTag(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if _, ok := jsonTag(field); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonTag extracts the field's json struct tag.
+func jsonTag(field *ast.Field) (string, bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	tag := reflect.StructTag(strings.Trim(field.Tag.Value, "`"))
+	return tag.Lookup("json")
+}

@@ -1,0 +1,20 @@
+// Fixture for the //lint:allow escape hatch: a directive with a reason
+// suppresses that analyzer on its line (or the line below); a bare
+// directive without a reason suppresses nothing, and a directive for a
+// different analyzer doesn't either.
+package fixture
+
+import "time"
+
+func suppressed() {
+	_ = time.Now() //lint:allow detrand boot banner timestamp, never enters an envelope
+	//lint:allow detrand measured by the bench harness, not the simulation
+	_ = time.Now()
+}
+
+func notSuppressed() {
+	//lint:allow detrand
+	_ = time.Now() // want "time.Now reads the wall clock"
+	//lint:allow maporder wrong analyzer named
+	_ = time.Now() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,25 @@
+// Fixture for the ctxfirst analyzer: context.Context must be the first
+// parameter.
+package fixture
+
+import "context"
+
+func good(ctx context.Context, n int) {}
+
+func bad(n int, ctx context.Context) {} // want "context.Context is parameter 2"
+
+func worse(a, b string, ctx context.Context, n int) {} // want "context.Context is parameter 3"
+
+type iface interface {
+	Good(ctx context.Context, q string)
+	Bad(q string, ctx context.Context) // want "context.Context is parameter 2"
+}
+
+type recv struct{}
+
+func (recv) Method(n int, ctx context.Context) {} // want "context.Context is parameter 2"
+
+var lit = func(n int, ctx context.Context) {} // want "context.Context is parameter 2"
+
+// multi-name parameter groups count positionally.
+func grouped(a, b int, ctx context.Context) {} // want "context.Context is parameter 3"

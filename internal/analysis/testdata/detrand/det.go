@@ -1,0 +1,33 @@
+// Fixture for the detrand analyzer: wall-clock reads and global math/rand
+// draws are flagged in deterministic layers; explicit seeding and pure time
+// arithmetic are sanctioned.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func flagged() {
+	_ = time.Now()                   // want "time.Now reads the wall clock"
+	_ = time.Since(time.Time{})      // want "time.Since reads the wall clock"
+	time.Sleep(time.Millisecond)     // want "time.Sleep reads the wall clock"
+	_ = time.After(time.Second)      // want "time.After reads the wall clock"
+	_ = rand.Float64()               // want "math/rand.Float64 draws from the process-global random source"
+	_ = rand.Intn(10)                // want "math/rand.Intn draws from the process-global random source"
+	rand.Shuffle(3, func(i, j int) { // want "math/rand.Shuffle draws from the process-global random source"
+	})
+}
+
+func sanctioned() {
+	// Explicitly seeded generators are the sanctioned pattern.
+	rng := rand.New(rand.NewSource(42))
+	_ = rng.Float64()
+	_ = rng.Intn(10)
+
+	// Pure constructors and arithmetic are deterministic.
+	t := time.Unix(0, 0)
+	_ = t.Add(3 * time.Second)
+	_ = time.Duration(17) * time.Millisecond
+	_, _ = time.Parse(time.RFC3339, "2021-01-01T00:00:00Z")
+}

@@ -1,0 +1,12 @@
+// Fixture for the fabriclock analyzer: fabric.go and world.go are the
+// sanctioned homes for raw synchronization in internal/mpi.
+package fixture
+
+import "sync"
+
+var fabricMu sync.Mutex
+
+func lockedInFabric() {
+	fabricMu.Lock()
+	defer fabricMu.Unlock()
+}

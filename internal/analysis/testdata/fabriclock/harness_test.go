@@ -1,0 +1,11 @@
+// Test files synchronize their own harnesses, not the runtime: exempt.
+package fixture
+
+import "sync"
+
+var testMu sync.Mutex // no want: _test.go files are exempt
+
+func lockedInTest() {
+	testMu.Lock()
+	defer testMu.Unlock()
+}

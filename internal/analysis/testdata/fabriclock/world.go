@@ -1,0 +1,7 @@
+package fixture
+
+import "sync/atomic"
+
+var aborted atomic.Bool
+
+func abort() { aborted.Store(true) }

@@ -1,0 +1,107 @@
+// Fixture for the maporder analyzer: order-sensitive work inside a range
+// over a map is flagged; the collect-then-sort pattern and commutative
+// folds are sanctioned.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func flaggedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over a map"
+	}
+	return out
+}
+
+func flaggedFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation into sum"
+	}
+	return sum
+}
+
+func flaggedStringConcat(m map[string]int) string {
+	var s string
+	for k := range m {
+		s += k // want "string concatenation into s"
+	}
+	return s
+}
+
+func flaggedOutput(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside range over a map writes output"
+	}
+}
+
+func flaggedBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString inside range over a map writes output"
+	}
+	return b.String()
+}
+
+// sortedKeys is the sanctioned pattern: collect, sort, then do the
+// order-sensitive work over the sorted slice.
+func sortedKeys(m map[string]float64) (string, float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s string
+	var sum float64
+	for _, k := range keys {
+		s += k
+		sum += m[k]
+	}
+	return s, sum
+}
+
+// commutative folds don't depend on visit order.
+func sanctionedFolds(m map[string]int) (int, int, map[string]int) {
+	n := 0
+	best := 0
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		n += v // integer addition commutes
+		if v > best {
+			best = v
+		}
+		out[k] = v * 2 // keyed writes are order-independent
+	}
+	return n, best, out
+}
+
+// a per-iteration temporary cannot leak iteration order.
+func sanctionedTemp(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// sortFunc variants count as sanctioned sorters too.
+func sortedStructs(m map[string]int) []pair {
+	var out []pair
+	for k, v := range m {
+		out = append(out, pair{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+type pair struct {
+	k string
+	v int
+}

@@ -1,0 +1,11 @@
+// Test files are exempt from maporder: tests compare and report in
+// arbitrary order; the invariant protects envelopes, profiles, and logs.
+package fixture
+
+func testOnlyHelper(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // no want: _test.go files are exempt
+	}
+	return out
+}

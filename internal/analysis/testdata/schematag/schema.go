@@ -1,0 +1,35 @@
+// Fixture for the schematag analyzer: a struct that participates in a JSON
+// schema (any field tagged) must tag every exported field explicitly.
+package fixture
+
+// envelope participates in a schema and misses tags on two fields.
+type envelope struct {
+	SchemaVersion int       `json:"schemaVersion"`
+	Study         string    `json:"study"`
+	Grid          []float64 // want "exported field Grid of a JSON-schema struct has no json tag"
+	Seed          int64     // want "exported field Seed of a JSON-schema struct has no json tag"
+
+	internalNote string // unexported: not part of the wire schema
+}
+
+// fullyTagged is clean: every exported field chose a wire name, including a
+// deliberate exclusion.
+type fullyTagged struct {
+	Name    string   `json:"name"`
+	Configs []int    `json:"configs,omitempty"`
+	Scratch []byte   `json:"-"`
+	header  struct{} //nolint:unused
+}
+
+// plain carries no json tags at all, so it does not participate in a
+// schema and is exempt.
+type plain struct {
+	X int
+	Y string
+}
+
+// embedded fields inline their own schema and are skipped.
+type withEmbed struct {
+	fullyTagged
+	Extra int `json:"extra"`
+}

@@ -1,0 +1,67 @@
+package analysis
+
+// Vet unit-checker protocol: when critterlint runs under
+// `go vet -vettool=...`, the go command invokes it once per package with a
+// JSON config file describing the compilation unit — source files plus a
+// map from import paths to already-compiled export data. This file decodes
+// that config and type-checks the unit, mirroring what
+// golang.org/x/tools/go/analysis/unitchecker does, on the standard library
+// alone.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+)
+
+// UnitConfig is the subset of vet's JSON unit config the driver consumes.
+type UnitConfig struct {
+	ID          string            `json:"ID"`
+	Compiler    string            `json:"Compiler"`
+	Dir         string            `json:"Dir"`
+	ImportPath  string            `json:"ImportPath"`
+	GoVersion   string            `json:"GoVersion"`
+	GoFiles     []string          `json:"GoFiles"`
+	ImportMap   map[string]string `json:"ImportMap"`
+	PackageFile map[string]string `json:"PackageFile"`
+	VetxOnly    bool              `json:"VetxOnly"`
+	VetxOutput  string            `json:"VetxOutput"`
+
+	SucceedOnTypecheckFailure bool `json:"SucceedOnTypecheckFailure"`
+}
+
+// LoadUnit reads a vet unit config and type-checks the package it
+// describes. The returned config is non-nil whenever the file itself could
+// be decoded, so callers can honor SucceedOnTypecheckFailure.
+func LoadUnit(cfgPath string) (*Package, *UnitConfig, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, fmt.Errorf("decoding vet config %s: %w", cfgPath, err)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	// vet hands the in-package test variant as "path [path.test]" and the
+	// external test package as "path_test [path.test]"; layer predicates
+	// want the base path.
+	pkg, err := checkFiles(token.NewFileSet(), realPath(cfg.ImportPath), cfg.Dir, cfg.GoFiles, lookup)
+	if err != nil {
+		return nil, cfg, err
+	}
+	return pkg, cfg, nil
+}

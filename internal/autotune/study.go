@@ -96,23 +96,23 @@ type ConfigResult struct {
 // SweepResult aggregates one (policy, epsilon) pass over the configurations
 // the sweep's strategy evaluated (the whole space under Exhaustive).
 type SweepResult struct {
-	Policy  critter.Policy
-	Eps     float64
-	Configs []ConfigResult
+	Policy  critter.Policy `json:"Policy"`
+	Eps     float64        `json:"Eps"`
+	Configs []ConfigResult `json:"Configs"`
 
-	TuneWall       float64 // total selective-execution virtual time (the tuning cost)
-	FullWall       float64 // total full-execution virtual time over the evaluated configs (the red line)
-	KernelTime     float64 // sum over configs of max-rank executed-kernel time
-	CompKernelTime float64 // same, computation kernels only
+	TuneWall       float64 `json:"TuneWall"`       // total selective-execution virtual time (the tuning cost)
+	FullWall       float64 `json:"FullWall"`       // total full-execution virtual time over the evaluated configs (the red line)
+	KernelTime     float64 `json:"KernelTime"`     // sum over configs of max-rank executed-kernel time
+	CompKernelTime float64 `json:"CompKernelTime"` // same, computation kernels only
 	// MeanLogExecErr/MeanLogCompErr are the log2 geometric-mean prediction
 	// errors over every evaluation performed; under a rung strategy that
 	// includes the loosened-tolerance rungs, not just target-eps runs.
-	MeanLogExecErr float64
-	MeanLogCompErr float64
-	Selected       int // argmin of predicted times (Critter's choice); rung strategies compare each config's last evaluation
-	Optimal        int // argmin of full execution times among evaluated configs
-	Executed       int64
-	Skipped        int64
+	MeanLogExecErr float64 `json:"MeanLogExecErr"`
+	MeanLogCompErr float64 `json:"MeanLogCompErr"`
+	Selected       int     `json:"Selected"` // argmin of predicted times (Critter's choice); rung strategies compare each config's last evaluation
+	Optimal        int     `json:"Optimal"`  // argmin of full execution times among evaluated configs
+	Executed       int64   `json:"Executed"`
+	Skipped        int64   `json:"Skipped"`
 
 	// Profile is what the sweep's selective executions learned, merged
 	// across every configuration and rank: kernel models, fitted family

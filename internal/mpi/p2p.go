@@ -2,77 +2,7 @@ package mpi
 
 import (
 	"fmt"
-	"math/bits"
-	"sync"
 )
-
-// BufPool recycles data-plane payload buffers ([]float64) across messages.
-// Buffers are filed by power-of-two size class; Get and Put are safe for
-// concurrent use (each class holds its freelist under its own mutex, so a
-// put never allocates — unlike sync.Pool, whose interface conversion would
-// box every slice header). One pool may serve many worlds over its lifetime
-// — the sweep executor threads one per worker so consecutive sweeps reuse
-// each other's buffers instead of reallocating the same tile-sized payloads
-// thousands of times.
-type BufPool struct {
-	classes [31]bufClass
-}
-
-// bufClass is one size class's freelist.
-type bufClass struct {
-	mu   sync.Mutex
-	free [][]float64
-}
-
-// maxPooledPerClass bounds each class's freelist; beyond it buffers fall to
-// the garbage collector (a world's in-flight message population is small,
-// so the bound only matters after pathological bursts).
-const maxPooledPerClass = 256
-
-// NewBufPool returns an empty pool.
-func NewBufPool() *BufPool { return &BufPool{} }
-
-// sizeClass returns the smallest c with n <= 1<<c.
-func sizeClass(n int) int { return bits.Len(uint(n - 1)) }
-
-// Get returns a length-n buffer with unspecified contents.
-func (p *BufPool) Get(n int) []float64 {
-	if n == 0 {
-		return nil
-	}
-	c := sizeClass(n)
-	if c >= len(p.classes) {
-		return make([]float64, n)
-	}
-	cl := &p.classes[c]
-	cl.mu.Lock()
-	if k := len(cl.free); k > 0 {
-		b := cl.free[k-1]
-		cl.free = cl.free[:k-1]
-		cl.mu.Unlock()
-		return b[:n]
-	}
-	cl.mu.Unlock()
-	return make([]float64, n, 1<<c)
-}
-
-// Put recycles b. The buffer is filed under the largest power-of-two class
-// its capacity fully covers, so a later Get never reslices past capacity.
-func (p *BufPool) Put(b []float64) {
-	if p == nil || cap(b) == 0 {
-		return
-	}
-	c := bits.Len(uint(cap(b))) - 1
-	if c >= len(p.classes) {
-		return
-	}
-	cl := &p.classes[c]
-	cl.mu.Lock()
-	if len(cl.free) < maxPooledPerClass {
-		cl.free = append(cl.free, b[:0])
-	}
-	cl.mu.Unlock()
-}
 
 // copyPayload captures a data payload for an in-flight message, drawing
 // from the world's buffer pool when one is installed. The second result

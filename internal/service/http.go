@@ -51,13 +51,26 @@ func NewServer(s *Scheduler) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// writeIgnoringError writes p to a response body, deliberately discarding
+// the write error: once a body write fails the client connection is gone
+// and there is no channel left to report the failure on. Centralizing the
+// discard here keeps every handler suppression-free.
+func writeIgnoringError(w io.Writer, p []byte) {
+	_, _ = w.Write(p)
+}
+
 // writeJSON emits one JSON response.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// v is always one of the package's own response shapes; failing to
+		// marshal one is a programming error worth surfacing loudly.
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+	writeIgnoringError(w, append(data, '\n'))
 }
 
 // writeError emits the {"error": ...} shape.
@@ -221,5 +234,5 @@ func (s *Server) profile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(append(data, '\n')) //nolint:errcheck
+	writeIgnoringError(w, append(data, '\n'))
 }

@@ -9,6 +9,7 @@ package slate
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"critter/internal/critter"
 	"critter/internal/grid"
@@ -218,19 +219,14 @@ func (s *rankScratch) reset() map[int]bool {
 }
 
 // sorted returns the current recipient set as a sorted slice, valid until
-// the next reset. Recipient sets are at most the grid size, so an insertion
-// sort beats the general-purpose sorter.
+// the next reset. Recipient sets are at most the grid size, so slices.Sort
+// stays in its insertion-sort regime.
 func (s *rankScratch) sorted() []int {
 	out := s.ranks[:0]
 	for r := range s.need {
-		i := len(out)
 		out = append(out, r)
-		for i > 0 && out[i-1] > r {
-			out[i] = out[i-1]
-			i--
-		}
-		out[i] = r
 	}
+	slices.Sort(out)
 	s.ranks = out
 	return out
 }
