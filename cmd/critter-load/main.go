@@ -1,0 +1,260 @@
+// Command critter-load drives a running critter-serve with concurrent
+// clients and reports service-level latency percentiles in Go benchmark
+// format, so the numbers feed the same benchdiff gate as the runtime
+// microbenchmarks (BENCH_service.json).
+//
+// Each client loops: submit a job (POST /v1/jobs, honoring 429
+// Retry-After backpressure), follow its SSE stream to the terminal event,
+// and fetch the result envelope — the full read-after-write path a real
+// consumer exercises. A -dup fraction of submissions share one identical
+// spec, exercising the scheduler's dedup/memoization; the rest get unique
+// seeds and genuinely execute.
+//
+// Usage:
+//
+//	critter-load -base http://127.0.0.1:8080 [-clients 8] [-jobs 64]
+//	             [-dup 0.5] [-workload candmc] [-scale quick]
+//	             [-strategy exhaustive] [-eps 0.125]
+//
+// Stdout carries benchmark lines (submit/e2e p50/p95/p99 latencies and
+// per-job throughput); the human-readable summary — completed jobs,
+// deduped share, 429 count — goes to stderr.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type options struct {
+	base     string
+	clients  int
+	jobs     int
+	dup      float64
+	workload string
+	scale    string
+	strategy string
+	eps      float64
+}
+
+// metrics aggregates per-job measurements across clients.
+type metrics struct {
+	mu        sync.Mutex
+	submit    []time.Duration // POST accepted
+	e2e       []time.Duration // POST to result fetched
+	deduped   int
+	completed int
+	retries   atomic.Int64 // 429 responses honored
+	failed    atomic.Int64
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.base, "base", "http://127.0.0.1:8080", "critter-serve base URL")
+	flag.IntVar(&opt.clients, "clients", 8, "concurrent clients")
+	flag.IntVar(&opt.jobs, "jobs", 64, "total jobs to run")
+	flag.Float64Var(&opt.dup, "dup", 0.5, "fraction of submissions sharing one identical spec (exercises dedup)")
+	flag.StringVar(&opt.workload, "workload", "candmc", "workload to submit")
+	flag.StringVar(&opt.scale, "scale", "quick", "scale preset")
+	flag.StringVar(&opt.strategy, "strategy", "exhaustive", "search strategy")
+	flag.Float64Var(&opt.eps, "eps", 0.125, "confidence tolerance")
+	flag.Parse()
+	if opt.clients < 1 || opt.jobs < 1 || opt.dup < 0 || opt.dup > 1 {
+		fmt.Fprintln(os.Stderr, "critter-load: bad -clients/-jobs/-dup")
+		os.Exit(2)
+	}
+
+	m := &metrics{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := &atomic.Int64{}
+	for c := 0; c < opt.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= opt.jobs {
+					return
+				}
+				runOne(client, opt, n, m)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if m.completed == 0 {
+		fmt.Fprintln(os.Stderr, "critter-load: no job completed")
+		os.Exit(1)
+	}
+
+	// Benchmark-format lines for benchdiff. Names carry no dash (a dash
+	// suffix would parse as a GOMAXPROCS count).
+	emit := func(name string, v time.Duration) {
+		fmt.Printf("Benchmark%s 1 %d ns/op\n", name, v.Nanoseconds())
+	}
+	emit("ServiceSubmitP50", percentile(m.submit, 0.50))
+	emit("ServiceSubmitP95", percentile(m.submit, 0.95))
+	emit("ServiceSubmitP99", percentile(m.submit, 0.99))
+	emit("ServiceE2EP50", percentile(m.e2e, 0.50))
+	emit("ServiceE2EP95", percentile(m.e2e, 0.95))
+	emit("ServiceE2EP99", percentile(m.e2e, 0.99))
+	// Throughput as ns per completed job: lower is better, same direction
+	// as every other ns/op gate.
+	emit("ServiceThroughput", wall/time.Duration(m.completed))
+
+	fmt.Fprintf(os.Stderr, "critter-load: %d jobs in %s (%d clients): %d completed, %d deduped, %d retries after 429, %d failed\n",
+		opt.jobs, wall.Round(time.Millisecond), opt.clients, m.completed, m.deduped, m.retries.Load(), m.failed.Load())
+	if m.failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runOne drives one job end to end: submit (with 429 retry), stream SSE to
+// the terminal event, fetch the result.
+func runOne(client *http.Client, opt options, n int, m *metrics) {
+	// Duplicate-heavy mix: the first ceil(dup*jobs) submissions share seed
+	// 1000 (one execution, many coalesced results); the rest get unique
+	// seeds. Warm start stays off so deduped jobs are memo-eligible and
+	// unique jobs measure full executions.
+	seed := uint64(1000)
+	if float64(n) >= opt.dup*float64(opt.jobs) {
+		seed = 2000 + uint64(n)
+	}
+	body, err := json.Marshal(map[string]any{
+		"workload":  opt.workload,
+		"scale":     opt.scale,
+		"strategy":  opt.strategy,
+		"eps":       []float64{opt.eps},
+		"seed":      seed,
+		"warmStart": false,
+	})
+	if err != nil {
+		m.failed.Add(1)
+		return
+	}
+
+	start := time.Now()
+	var st struct {
+		ID      string `json:"id"`
+		Deduped bool   `json:"deduped"`
+	}
+	for {
+		resp, err := client.Post(opt.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "critter-load: submit: %v\n", err)
+			m.failed.Add(1)
+			return
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			m.retries.Add(1)
+			time.Sleep(retryAfter(resp))
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			fmt.Fprintf(os.Stderr, "critter-load: submit: HTTP %d: %s\n", resp.StatusCode, data)
+			m.failed.Add(1)
+			return
+		}
+		if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+			fmt.Fprintf(os.Stderr, "critter-load: submit: bad status body %q\n", data)
+			m.failed.Add(1)
+			return
+		}
+		break
+	}
+	submitted := time.Since(start)
+
+	if !streamToEnd(client, opt.base+"/v1/jobs/"+st.ID+"/events") {
+		fmt.Fprintf(os.Stderr, "critter-load: %s: stream did not end in done\n", st.ID)
+		m.failed.Add(1)
+		return
+	}
+	resp, err := client.Get(opt.base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		fmt.Fprintf(os.Stderr, "critter-load: %s: result fetch failed (%v)\n", st.ID, err)
+		m.failed.Add(1)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	total := time.Since(start)
+
+	m.mu.Lock()
+	m.submit = append(m.submit, submitted)
+	m.e2e = append(m.e2e, total)
+	m.completed++
+	if st.Deduped {
+		m.deduped++
+	}
+	m.mu.Unlock()
+}
+
+// streamToEnd follows an SSE stream and reports whether it ended with a
+// done event.
+func streamToEnd(client *http.Client, url string) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	last := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			last = strings.TrimPrefix(line, "event: ")
+		}
+	}
+	return last == "done"
+}
+
+// retryAfter parses the Retry-After header, defaulting to a short pause.
+// The header carries whole seconds; under load-test conditions we retry
+// faster than a polite production client would, capping the wait.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if sec, err := strconv.Atoi(s); err == nil && sec > 0 {
+			d := time.Duration(sec) * time.Second
+			if d > 2*time.Second {
+				d = 2 * time.Second
+			}
+			return d
+		}
+	}
+	return 100 * time.Millisecond
+}
+
+// percentile returns the p-th percentile (0..1) of ds.
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i] < sorted[k] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -35,7 +35,16 @@
 // workloads) and anything added with RegisterWorkload resolve by name
 // through ParseStudy, the CLIs, and the critter-serve job service, which
 // queues tuning runs behind an HTTP JSON API and warm-starts each job from
-// what earlier jobs on the same workload learned.
+// what earlier jobs on the same workload learned. The service is built to
+// be run continuously: finished jobs, result envelopes, and merged
+// profiles persist across restarts in an embedded crash-safe store
+// (internal/store, enabled with -store), identical submissions
+// deduplicate onto one execution (and memoize afterwards), remote workers
+// join over the same API (-mode=worker) with lease-based fault tolerance,
+// and a bounded queue sheds overload with 429 + Retry-After. The
+// determinism guarantees make all of that safe: because a spec's result
+// is byte-identical wherever and whenever it runs, caching, replaying,
+// and relocating jobs cannot change what a client observes.
 //
 // This file is the public facade: it re-exports the stable API surface from
 // the internal packages. Typical use:

@@ -1,0 +1,229 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDedupCoalescesConcurrentSubmissions is the dedup acceptance test:
+// eight identical concurrent submissions produce exactly one Tuner
+// execution, eight byte-identical result envelopes, and eight complete
+// event streams. The blocking workload pins the primary mid-run so every
+// follower attaches while it is provably still executing.
+func TestDedupCoalescesConcurrentSubmissions(t *testing.T) {
+	gate := make(chan struct{})
+	s := New(Config{Registry: blockingRegistry(gate), Runners: 1, QueueSize: 16})
+	defer closeNow(t, s)
+
+	const n = 8
+	const body = `{"workload":"block","eps":[0.25],"seed":7,"warmStart":false}`
+
+	// Submit all eight concurrently. Dedup defaults to on.
+	statuses := make([]JobStatus, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := s.SubmitJSON([]byte(body))
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			statuses[i] = st
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every submission names the same fingerprint; exactly one is the
+	// primary, the other seven are deduped onto it.
+	ids := map[string]bool{}
+	var primary string
+	deduped := 0
+	for _, st := range statuses {
+		if st.Fingerprint == "" || st.Fingerprint != statuses[0].Fingerprint {
+			t.Fatalf("fingerprint mismatch: %+v vs %+v", st, statuses[0])
+		}
+		if ids[st.ID] {
+			t.Fatalf("duplicate job ID %s", st.ID)
+		}
+		ids[st.ID] = true
+		if st.Deduped {
+			deduped++
+			if st.DedupOf == "" {
+				t.Errorf("deduped job %s has no DedupOf", st.ID)
+			}
+		} else {
+			primary = st.ID
+		}
+	}
+	if deduped != n-1 || primary == "" {
+		t.Fatalf("got %d deduped of %d submissions (primary %q), want %d", deduped, n, primary, n-1)
+	}
+	for _, st := range statuses {
+		if st.Deduped && st.DedupOf != primary {
+			t.Errorf("job %s follows %s, want primary %s", st.ID, st.DedupOf, primary)
+		}
+	}
+
+	// Attach a subscription to every job before releasing the gate, so
+	// each stream must deliver the terminal event live.
+	subs := make([]*Subscription, n)
+	for i, st := range statuses {
+		sub, ok := s.Subscribe(st.ID)
+		if !ok {
+			t.Fatalf("Subscribe(%s): unknown job", st.ID)
+		}
+		defer sub.Close()
+		subs[i] = sub
+	}
+
+	close(gate)
+
+	// All eight reach done, having run the Tuner exactly once.
+	for _, st := range statuses {
+		final := waitDone(t, s, st.ID)
+		if final.State != StateDone {
+			t.Fatalf("job %s finished %s (err %q)", st.ID, final.State, final.Error)
+		}
+	}
+	if runs := s.TunerRuns(); runs != 1 {
+		t.Errorf("executed %d Tuner runs for %d identical submissions, want exactly 1", runs, n)
+	}
+
+	// Every stream ends with a done event for its own job ID.
+	for i, sub := range subs {
+		sawDone := false
+		timeout := time.After(time.Minute)
+		for !sawDone {
+			select {
+			case ev, ok := <-sub.C:
+				if !ok {
+					t.Fatalf("stream %d (%s) closed before its done event", i, statuses[i].ID)
+				}
+				if ev.Job != statuses[i].ID {
+					t.Errorf("stream %d carries event for %s, want %s", i, ev.Job, statuses[i].ID)
+				}
+				if ev.Type == "done" {
+					sawDone = true
+				}
+			case <-timeout:
+				t.Fatalf("stream %d (%s) never delivered a done event", i, statuses[i].ID)
+			}
+		}
+		if d := sub.Dropped(); d != 0 {
+			t.Errorf("stream %d dropped %d events", i, d)
+		}
+	}
+
+	// All eight envelopes are byte-identical.
+	ref := envelopeJSON(t, s, statuses[0].ID)
+	for _, st := range statuses[1:] {
+		if got := envelopeJSON(t, s, st.ID); !bytes.Equal(got, ref) {
+			t.Errorf("envelope for %s differs from %s:\n%s\nvs\n%s", st.ID, statuses[0].ID, got, ref)
+		}
+	}
+
+	// A ninth identical submission after completion is a memo hit: it is
+	// born terminal with the same envelope and runs nothing.
+	ninth, err := s.SubmitJSON([]byte(body))
+	if err != nil {
+		t.Fatalf("memo submit: %v", err)
+	}
+	if !ninth.Deduped || ninth.State != StateDone {
+		t.Fatalf("memo-hit status %+v, want deduped+done", ninth)
+	}
+	if got := envelopeJSON(t, s, ninth.ID); !bytes.Equal(got, ref) {
+		t.Errorf("memoized envelope differs:\n%s\nvs\n%s", got, ref)
+	}
+	if runs := s.TunerRuns(); runs != 1 {
+		t.Errorf("memo hit re-executed the Tuner (%d runs)", runs)
+	}
+}
+
+// TestDedupOptOutAndBoundaries: dedup:false submissions never coalesce,
+// and differing specs produce differing fingerprints.
+func TestDedupOptOutAndBoundaries(t *testing.T) {
+	gate := make(chan struct{})
+	s := New(Config{Registry: blockingRegistry(gate), Runners: 1, QueueSize: 16})
+	defer closeNow(t, s)
+
+	a, err := s.SubmitJSON([]byte(`{"workload":"block","eps":[0.25],"seed":7,"warmStart":false,"dedup":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.SubmitJSON([]byte(`{"workload":"block","eps":[0.25],"seed":7,"warmStart":false,"dedup":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Deduped || b.Deduped {
+		t.Errorf("dedup:false submissions coalesced: %+v %+v", a, b)
+	}
+	// The dedup flag itself is routing policy, not work identity: the
+	// fingerprint ignores it.
+	if a.Fingerprint != b.Fingerprint {
+		t.Errorf("identical specs fingerprint differently: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+
+	// Any material field change moves the fingerprint.
+	seen := map[string]string{a.Fingerprint: "base"}
+	for name, body := range map[string]string{
+		"seed":     `{"workload":"block","eps":[0.25],"seed":8,"warmStart":false,"dedup":false}`,
+		"eps":      `{"workload":"block","eps":[0.5],"seed":7,"warmStart":false,"dedup":false}`,
+		"strategy": `{"workload":"block","eps":[0.25],"seed":7,"strategy":"random:3","warmStart":false,"dedup":false}`,
+		"warm":     `{"workload":"block","eps":[0.25],"seed":7,"warmStart":true,"dedup":false}`,
+	} {
+		st, err := s.SubmitJSON([]byte(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[st.Fingerprint]; dup {
+			t.Errorf("%s collides with %s on fingerprint %s", name, prev, st.Fingerprint)
+		}
+		seen[st.Fingerprint] = name
+	}
+
+	close(gate)
+	for id := range map[string]bool{a.ID: true, b.ID: true} {
+		waitDone(t, s, id)
+	}
+}
+
+// waitDone waits for a job's terminal state with a test-friendly timeout.
+func waitDone(t *testing.T, s *Scheduler, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, ok := s.Status(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State.terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return JobStatus{}
+}
+
+// envelopeJSON fetches a finished job's envelope and renders it to
+// canonical JSON for byte comparison.
+func envelopeJSON(t *testing.T, s *Scheduler, id string) []byte {
+	t.Helper()
+	env, ok := s.Result(id)
+	if !ok || env == nil {
+		t.Fatalf("job %s has no result envelope", id)
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatalf("marshal envelope for %s: %v", id, err)
+	}
+	return data
+}

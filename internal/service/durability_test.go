@@ -1,0 +1,144 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"critter/internal/store"
+)
+
+// TestRestartDurability is the restart acceptance test, in three lives of
+// one store directory:
+//
+//	life 1: run a cold job to completion, shut down cleanly.
+//	life 2: reopen; verify the finished job replayed. Queue a job on a
+//	        runner-less scheduler and shut down with it still pending —
+//	        the crash-with-queued-work case.
+//	life 3: reopen; the finished job is still queryable with a
+//	        byte-identical envelope, the never-started job is gone (the
+//	        documented reject-on-restart semantics), the persisted
+//	        profile warm-starts a new job into strictly fewer executed
+//	        kernels than the cold run, and a resubmission of the cold
+//	        spec is served from the replayed memo without re-executing.
+func TestRestartDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sweeps")
+	}
+	dir := t.TempDir()
+	const coldBody = `{"workload":"candmc","scale":"quick","policies":["online"],"eps":[0.125],"seed":11,"warmStart":false}`
+
+	// Life 1: cold job to completion.
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{Runners: 1, Durable: st1})
+	cold := submitWait(t, s1, coldBody)
+	if cold.State != StateDone {
+		t.Fatalf("cold job finished %s (err %q)", cold.State, cold.Error)
+	}
+	coldEnv := envelopeJSON(t, s1, cold.ID)
+	coldExec := mustExecuted(t, s1, cold.ID)
+	closeNow(t, s1)
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 2: the finished job replayed; park a fresh job on a
+	// runner-less scheduler and "crash" with it queued.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Runners: -1, Durable: st2})
+	replayed, ok := s2.Status(cold.ID)
+	if !ok || replayed.State != StateDone {
+		t.Fatalf("job %s after restart: ok=%v status %+v", cold.ID, ok, replayed)
+	}
+	if got := envelopeJSON(t, s2, cold.ID); !bytes.Equal(got, coldEnv) {
+		t.Errorf("replayed envelope differs from the original:\n%s\nvs\n%s", got, coldEnv)
+	}
+	queued, err := s2.SubmitJSON([]byte(`{"workload":"candmc","scale":"quick","policies":["online"],"eps":[0.25],"seed":99,"warmStart":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.State != StateQueued {
+		t.Fatalf("job on a runner-less scheduler is %s, want queued", queued.State)
+	}
+	if queued.ID == cold.ID {
+		t.Fatalf("replay did not advance job IDs: new job reused %s", cold.ID)
+	}
+	closeNow(t, s2)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 3: history and profiles survived; queued-but-unstarted did not.
+	st3, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := st3.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	s3 := New(Config{Runners: 1, Durable: st3})
+	defer closeNow(t, s3)
+
+	if again, ok := s3.Status(cold.ID); !ok || again.State != StateDone {
+		t.Fatalf("job %s after second restart: ok=%v status %+v", cold.ID, ok, again)
+	}
+	if got := envelopeJSON(t, s3, cold.ID); !bytes.Equal(got, coldEnv) {
+		t.Error("second replay corrupted the envelope")
+	}
+	if _, ok := s3.Status(queued.ID); ok {
+		t.Errorf("queued-but-unstarted job %s survived the restart; restart semantics say it is rejected", queued.ID)
+	}
+	if _, at, ok := s3.ProfileInfo("candmc"); !ok || at.IsZero() {
+		t.Errorf("persisted profile after restart: ok=%v persistedAt=%v", ok, at)
+	}
+
+	// The durable profile warm-starts new work: strictly fewer executed
+	// kernels than the cold run, with no job yet executed in this life.
+	warm := submitWait(t, s3, `{"workload":"candmc","scale":"quick","policies":["online"],"eps":[0.125],"seed":11,"warmStart":true}`)
+	if warm.State != StateDone {
+		t.Fatalf("warm job finished %s (err %q)", warm.State, warm.Error)
+	}
+	if !warm.WarmStart {
+		t.Error("restarted scheduler did not warm-start from the durable profile")
+	}
+	warmExec := mustExecuted(t, s3, warm.ID)
+	if warmExec >= coldExec {
+		t.Errorf("warm job executed %d kernels, want strictly fewer than the cold run's %d", warmExec, coldExec)
+	}
+	t.Logf("cold executed %d, warm-after-restart executed %d", coldExec, warmExec)
+
+	// The memo replayed too: the cold spec resubmitted is served from
+	// history without another Tuner run.
+	runsBefore := s3.TunerRuns()
+	memo, err := s3.SubmitJSON([]byte(coldBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !memo.Deduped || memo.State != StateDone {
+		t.Fatalf("resubmitted cold spec after restart: %+v, want a memo hit", memo)
+	}
+	if got := envelopeJSON(t, s3, memo.ID); !bytes.Equal(got, coldEnv) {
+		t.Error("memoized envelope after restart differs from the original")
+	}
+	if runs := s3.TunerRuns(); runs != runsBefore {
+		t.Errorf("memo hit after restart re-executed the Tuner (%d -> %d runs)", runsBefore, runs)
+	}
+}
+
+// mustExecuted returns the executed-kernel count of a finished job's only
+// sweep.
+func mustExecuted(t *testing.T, s *Scheduler, id string) int64 {
+	t.Helper()
+	env, ok := s.Result(id)
+	if !ok || env == nil || env.Result == nil || len(env.Result.Sweeps) == 0 || len(env.Result.Sweeps[0]) == 0 {
+		t.Fatalf("job %s has no sweep results", id)
+	}
+	return env.Result.Sweeps[0][0].Executed
+}

@@ -11,10 +11,16 @@ package service
 //	GET    /v1/jobs/{id}/result     a finished job's result envelope
 //	GET    /v1/workloads            the registry's workload catalog
 //	GET    /v1/profiles/{workload}  the accumulated warm-start profile
+//	POST   /v1/workers              register a worker process
+//	GET    /v1/workers              list registered workers
+//	POST   /v1/workers/{id}/lease   lease the next queued job (204 = none)
+//	POST   /v1/workers/{id}/jobs/{job}/events   sweep events / heartbeat
+//	POST   /v1/workers/{id}/jobs/{job}/result   final result of a lease
 //
 // Responses are JSON; errors are {"error": "..."} with conventional
 // status codes (400 malformed request, 404 unknown resource, 409 wrong
-// state, 503 queue full or shutting down).
+// state or lost lease, 429 queue full — with a Retry-After header and a
+// retryAfterSeconds field — and 503 shutting down).
 
 import (
 	"encoding/json"
@@ -22,11 +28,17 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // maxJobBodyBytes bounds a job-submission body; a tuning request is a few
 // hundred bytes of JSON, so anything larger is garbage or abuse.
 const maxJobBodyBytes = 1 << 20
+
+// maxWorkerBodyBytes bounds worker posts; a result carries a full envelope
+// plus a merged profile, which for large grids runs to megabytes.
+const maxWorkerBodyBytes = 64 << 20
 
 // Server is the http.Handler wrapping a Scheduler.
 type Server struct {
@@ -45,6 +57,11 @@ func NewServer(s *Scheduler) *Server {
 	srv.mux.HandleFunc("GET /v1/jobs/{id}/result", srv.result)
 	srv.mux.HandleFunc("GET /v1/workloads", srv.workloads)
 	srv.mux.HandleFunc("GET /v1/profiles/{workload}", srv.profile)
+	srv.mux.HandleFunc("POST /v1/workers", srv.registerWorker)
+	srv.mux.HandleFunc("GET /v1/workers", srv.listWorkers)
+	srv.mux.HandleFunc("POST /v1/workers/{id}/lease", srv.lease)
+	srv.mux.HandleFunc("POST /v1/workers/{id}/jobs/{job}/events", srv.workerEvents)
+	srv.mux.HandleFunc("POST /v1/workers/{id}/jobs/{job}/result", srv.workerResult)
 	return srv
 }
 
@@ -86,7 +103,15 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.sched.SubmitJSON(body)
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure, not failure: tell the client when to come back.
+		retry := s.sched.RetryAfterHint()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":             err.Error(),
+			"retryAfterSeconds": retry,
+		})
+	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -141,19 +166,19 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 // events streams a job's progress as server-sent events: each event is
 // `event: <type>` + `data: <Event JSON>`, replaying the job's history
 // first, then following live until the terminal event (done, failed, or
-// canceled), after which the stream ends.
+// canceled), after which the stream ends. Subscriber buffers are bounded:
+// a consumer that cannot keep up loses intermediate events and receives a
+// synthetic `lagged` event (with the drop count) before its terminal
+// event, which is re-synthesized from the job's final status when the real
+// one was among the casualties.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	past, live, unsubscribe, ok := s.sched.Subscribe(id)
+	sub, ok := s.sched.Subscribe(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
-	defer func() {
-		if unsubscribe != nil {
-			unsubscribe()
-		}
-	}()
+	defer sub.Close()
 
 	flusher, canFlush := w.(http.Flusher)
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -171,18 +196,42 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 		}
 		return State(ev.Type).terminal()
 	}
-	for _, ev := range past {
+	finish := func() {
+		// The channel closed without us seeing a terminal event: either
+		// the consumer lagged past it, or the subscription raced the
+		// terminal transition. Flag drops, then synthesize the terminal
+		// event from the final status (state names double as terminal
+		// event types).
+		if n := sub.Dropped(); n > 0 {
+			send(Event{Type: "lagged", Job: id, Dropped: n})
+		}
+		st, ok := s.sched.Status(id)
+		if !ok || !st.State.terminal() {
+			return
+		}
+		send(Event{
+			Type: string(st.State), Job: id,
+			Done: st.SweepsDone, Total: st.SweepsTotal,
+			Error: st.Error,
+		})
+	}
+	for _, ev := range sub.Past {
 		if send(ev) {
 			return
 		}
 	}
-	if live == nil {
+	if sub.C == nil {
+		finish()
 		return
 	}
 	for {
 		select {
-		case ev, open := <-live:
-			if !open || send(ev) {
+		case ev, open := <-sub.C:
+			if !open {
+				finish()
+				return
+			}
+			if send(ev) {
 				return
 			}
 		case <-r.Context().Done():
@@ -221,18 +270,129 @@ func (s *Server) workloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
 }
 
+// profileResponse is the shape of GET /v1/profiles/{workload}: the
+// accumulated profile plus its durability provenance.
+type profileResponse struct {
+	Workload string `json:"workload"`
+	// PersistedAt is when the profile was last written to the durable
+	// store; absent when the server runs without one (the profile then
+	// dies with the process).
+	PersistedAt *time.Time      `json:"persistedAt,omitempty"`
+	Profile     json.RawMessage `json:"profile"`
+}
+
 func (s *Server) profile(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("workload")
-	p := s.sched.Store().Get(name)
-	if p == nil {
+	data, at, ok := s.sched.ProfileInfo(name)
+	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no accumulated profile for workload %q", name))
 		return
 	}
-	data, err := p.Encode()
+	resp := profileResponse{Workload: name, Profile: data}
+	if !at.IsZero() {
+		resp.PersistedAt = &at
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) registerWorker(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	writeIgnoringError(w, append(data, '\n'))
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+			return
+		}
+	}
+	id, ttl, err := s.sched.RegisterWorker(req.Name)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"worker":      id,
+		"leaseMillis": leaseMillis(ttl),
+	})
+}
+
+func (s *Server) listWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workers": s.sched.Workers()})
+}
+
+// writeWorkerError maps lease-protocol errors onto status codes workers
+// key their recovery off: 404 register again, 409 drop the job.
+func writeWorkerError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownWorker):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrLeaseLost):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) lease(w http.ResponseWriter, r *http.Request) {
+	grant, err := s.sched.LeaseJob(r.PathValue("id"))
+	if err != nil {
+		writeWorkerError(w, err)
+		return
+	}
+	if grant == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, grant)
+}
+
+func (s *Server) workerEvents(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Events []Event `json:"events"`
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxWorkerBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+			return
+		}
+	}
+	if err := s.sched.ExtendLease(r.PathValue("id"), r.PathValue("job"), req.Events); err != nil {
+		writeWorkerError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) workerResult(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Envelope json.RawMessage `json:"envelope,omitempty"`
+		Profile  json.RawMessage `json:"profile,omitempty"`
+		Error    string          `json:"error,omitempty"`
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxWorkerBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	if err := s.sched.CompleteLease(r.PathValue("id"), r.PathValue("job"), req.Envelope, req.Profile, req.Error); err != nil {
+		writeWorkerError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }

@@ -187,16 +187,21 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if code := getJSON(t, client, ts.URL+"/v1/jobs", &list); code != http.StatusOK || len(list.Jobs) != 1 {
 		t.Errorf("GET /v1/jobs: status %d, %d jobs", code, len(list.Jobs))
 	}
-	profResp, err := client.Get(ts.URL + "/v1/profiles/candmc")
-	if err != nil {
-		t.Fatal(err)
+	var prof struct {
+		Workload    string          `json:"workload"`
+		PersistedAt *time.Time      `json:"persistedAt"`
+		Profile     json.RawMessage `json:"profile"`
 	}
-	profBody, _ := io.ReadAll(profResp.Body)
-	profResp.Body.Close()
-	if profResp.StatusCode != http.StatusOK {
-		t.Fatalf("GET profile: status %d", profResp.StatusCode)
+	if code := getJSON(t, client, ts.URL+"/v1/profiles/candmc", &prof); code != http.StatusOK {
+		t.Fatalf("GET profile: status %d", code)
 	}
-	if _, err := critter.DecodeProfile(profBody); err != nil {
+	if prof.Workload != "candmc" {
+		t.Errorf("profile response names workload %q", prof.Workload)
+	}
+	if prof.PersistedAt != nil {
+		t.Error("profile claims durable persistence on a store-less server")
+	}
+	if _, err := critter.DecodeProfile(prof.Profile); err != nil {
 		t.Errorf("served profile does not decode: %v", err)
 	}
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
@@ -207,6 +212,80 @@ func TestHTTPEndToEnd(t *testing.T) {
 	delResp.Body.Close()
 	if delResp.StatusCode != http.StatusConflict {
 		t.Errorf("DELETE finished job: status %d, want 409", delResp.StatusCode)
+	}
+}
+
+// TestHTTPQueueFull429 drives the backpressure path over the wire: a full
+// queue answers 429 with a Retry-After header and a structured JSON body,
+// while malformed submissions stay 400.
+func TestHTTPQueueFull429(t *testing.T) {
+	gate := make(chan struct{})
+	s := New(Config{Registry: blockingRegistry(gate), Runners: 1, QueueSize: 1})
+	// t.Cleanup runs after the deferred close(gate), so the blocked
+	// runner is released before the scheduler shuts down.
+	t.Cleanup(func() { closeNow(t, s) })
+	defer close(gate)
+	ts := httptest.NewServer(NewServer(s))
+	defer ts.Close()
+	client := ts.Client()
+
+	// Fill the runner, then the queue. dedup off so the bodies don't
+	// coalesce; the first job must be running (its queue slot freed)
+	// before the second can reliably occupy the whole queue.
+	submit := func() (JobStatus, int) {
+		resp, err := client.Post(ts.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"workload":"block","dedup":false}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st JobStatus
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.Unmarshal(data, &st); err != nil {
+				t.Fatalf("decode submit response %q: %v", data, err)
+			}
+		}
+		return st, resp.StatusCode
+	}
+	first, code := submit()
+	if code != http.StatusAccepted {
+		t.Fatalf("first submission: status %d", code)
+	}
+	waitState(t, s, first.ID, StateRunning)
+	if _, code := submit(); code != http.StatusAccepted {
+		t.Fatalf("queue-filling submission: status %d", code)
+	}
+
+	resp, err := client.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"block","dedup":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission: status %d (body %s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carries no Retry-After header")
+	}
+	var e struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retryAfterSeconds"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" || e.RetryAfterSeconds < 1 {
+		t.Errorf("429 body %q does not carry error + retryAfterSeconds", body)
+	}
+
+	// Malformed input is still a 400, not a 429.
+	resp, err = client.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed submission: status %d, want 400", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,202 @@
+package service
+
+// Durable persistence over internal/store: what survives a restart, and
+// exactly how a scheduler rebuilds itself from the log.
+//
+// Two record kinds live in the store:
+//
+//   - "job": one record per finished job, written at the terminal
+//     transition — the status snapshot, the normalized request, and the
+//     result envelope (shared by deduped jobs, duplicated in the log so
+//     replay needs no cross-record resolution).
+//   - "profile": the merged per-workload profile, rewritten after every
+//     run that learned something (latest record wins, by store
+//     semantics).
+//
+// Restart semantics, by design and covered by TestRestartDurability:
+// finished jobs replay with their envelopes and a single terminal event
+// (the full event history is not persisted); replayed profiles warm-start
+// new jobs exactly as if the process had never died; queued-but-unstarted
+// and still-running jobs are NOT persisted and are simply gone after a
+// restart — the client that submitted them observes a 404 and resubmits.
+// Rejecting rather than resuming keeps the log append-only at terminal
+// transitions and makes the replay path deterministic: nothing in the
+// store ever describes work in progress. Job IDs continue after the
+// highest replayed ID, so replayed and new jobs never collide.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"critter/internal/autotune"
+	"critter/internal/critter"
+	"critter/internal/store"
+)
+
+// Durable record kinds.
+const (
+	kindJob     = "job"
+	kindProfile = "profile"
+)
+
+// jobRecord is the persisted form of one finished job.
+type jobRecord struct {
+	Status   JobStatus       `json:"status"`
+	Request  JobRequest      `json:"request"`
+	Envelope json.RawMessage `json:"envelope,omitempty"`
+}
+
+// persistedJob is the in-memory staging of a jobRecord, collected under
+// job locks and written outside them.
+type persistedJob struct {
+	status   JobStatus
+	request  JobRequest
+	envelope *autotune.Envelope
+}
+
+// persistJobs appends one durable record per finished job. Persistence
+// failures are logged, not fatal: the scheduler keeps serving from memory.
+func (s *Scheduler) persistJobs(recs []persistedJob) {
+	if s.durable == nil {
+		return
+	}
+	for _, rec := range recs {
+		jr := jobRecord{Status: rec.status, Request: rec.request}
+		if rec.envelope != nil {
+			data, err := json.Marshal(rec.envelope)
+			if err != nil {
+				s.logf("service: marshal envelope for %s: %v", rec.status.ID, err)
+			} else {
+				jr.Envelope = data
+			}
+		}
+		data, err := json.Marshal(jr)
+		if err != nil {
+			s.logf("service: marshal job record %s: %v", rec.status.ID, err)
+			continue
+		}
+		err = s.durable.Append(store.Record{Kind: kindJob, Key: rec.status.ID, At: rec.status.Finished, Data: data})
+		if err != nil {
+			s.logf("service: persist job %s: %v", rec.status.ID, err)
+		}
+	}
+}
+
+// replayDurable rebuilds jobs, profiles, and the memo map from the durable
+// store. Called from New before any runner starts, so no locking is
+// needed. Individual corrupt records are skipped with a log line; replay
+// never fails the scheduler.
+func (s *Scheduler) replayDurable() {
+	if s.durable == nil {
+		return
+	}
+	for _, rec := range s.durable.Records() {
+		switch rec.Kind {
+		case kindProfile:
+			p, err := critter.DecodeProfile(rec.Data)
+			if err != nil {
+				s.logf("service: replay profile %s: %v", rec.Key, err)
+				continue
+			}
+			s.store.Merge(rec.Key, p)
+			s.persisted[rec.Key] = rec.At
+		case kindJob:
+			if err := s.replayJob(rec.Data); err != nil {
+				s.logf("service: replay job %s: %v", rec.Key, err)
+			}
+		default:
+			s.logf("service: replay: unknown record kind %q (key %s)", rec.Kind, rec.Key)
+		}
+	}
+}
+
+// replayJob restores one finished job from its durable record.
+func (s *Scheduler) replayJob(data []byte) error {
+	var jr jobRecord
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	st := jr.Status
+	if st.ID == "" || !st.State.terminal() {
+		return fmt.Errorf("record is not a finished job (id %q, state %q)", st.ID, st.State)
+	}
+	if _, exists := s.jobs[st.ID]; exists {
+		return fmt.Errorf("duplicate job record %s", st.ID)
+	}
+
+	j := &job{
+		id:          st.ID,
+		state:       st.State,
+		subs:        make(map[int]*subscriber),
+		warmApplied: st.WarmStart,
+		sweepsDone:  st.SweepsDone,
+		sweepsTotal: st.SweepsTotal,
+		submitted:   st.Submitted,
+		started:     st.Started,
+		finished:    st.Finished,
+		done:        make(chan struct{}),
+		deduped:     st.Deduped,
+		dedupOf:     st.DedupOf,
+		attempts:    st.Attempts,
+		replay:      &st,
+	}
+	if st.Error != "" {
+		j.err = errors.New(st.Error)
+	}
+	if len(jr.Envelope) > 0 {
+		env, err := autotune.DecodeEnvelope(jr.Envelope)
+		if err != nil {
+			s.logf("service: replay envelope of %s: %v", st.ID, err)
+		} else {
+			j.envelope = env
+		}
+	}
+	// The event history is not persisted; a replayed job exposes its one
+	// terminal event (state names double as terminal event types).
+	j.events = []Event{{
+		Type: string(st.State), Job: st.ID,
+		Done: st.SweepsDone, Total: st.SweepsTotal,
+		Error: st.Error,
+	}}
+	close(j.done)
+	s.jobs[st.ID] = j
+	s.order = append(s.order, st.ID)
+	if n, ok := jobIDNumber(st.ID); ok && n > s.nextID {
+		s.nextID = n
+	}
+	// Rebuild the memo: a replayed job backs future identical
+	// submissions under the same conditions a live one would — dedup on,
+	// warm start off, finished clean, envelope intact.
+	if st.State == StateDone && j.envelope != nil && st.Fingerprint != "" &&
+		jr.Request.Dedup != nil && *jr.Request.Dedup &&
+		jr.Request.WarmStart != nil && !*jr.Request.WarmStart {
+		s.memo[st.Fingerprint] = st.ID
+	}
+	return nil
+}
+
+// jobIDNumber extracts N from "job-N".
+func jobIDNumber(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// PersistedAt reports when a workload's merged profile was last durably
+// written; zero time (and false) when it never was.
+func (s *Scheduler) PersistedAt(workload string) (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at, ok := s.persisted[workload]
+	return at, ok
+}

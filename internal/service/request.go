@@ -8,6 +8,7 @@ package service
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -52,6 +53,12 @@ type JobRequest struct {
 	// WarmStart seeds the job from the service's accumulated profile for
 	// this workload, when one exists. Default: true.
 	WarmStart *bool `json:"warmStart,omitempty"`
+	// Dedup lets this submission coalesce with an identical in-flight or
+	// memoized job (same fingerprint: workload, scale, policies, eps,
+	// strategy, seed, noise, extrapolate, warmStart) instead of executing
+	// again. Default: true. Disable for jobs that must run regardless —
+	// e.g. to re-measure wall-clock behaviour.
+	Dedup *bool `json:"dedup,omitempty"`
 }
 
 // jobSpec is a fully resolved, validated job: everything runJob needs,
@@ -68,6 +75,15 @@ type jobSpec struct {
 	noise       float64
 	extrapolate bool
 	warm        bool
+	dedup       bool
+	// fingerprint content-addresses the work: two specs with the same
+	// fingerprint run byte-identical simulations (given the same prior),
+	// so they are safe to coalesce.
+	fingerprint string
+	// req is the normalized request — every default filled in, every name
+	// canonical — so a spec can be shipped to a worker process and
+	// re-resolved there into the identical spec.
+	req JobRequest
 }
 
 // ParseJobRequest strictly decodes a JSON job submission and validates it
@@ -172,7 +188,61 @@ func resolveJobRequest(reg *workload.Registry, req JobRequest) (*jobSpec, error)
 		return nil, fmt.Errorf("service: job request: %w", err)
 	}
 	spec.strategy = strat
+
+	spec.dedup = true
+	if req.Dedup != nil {
+		spec.dedup = *req.Dedup
+	}
+
+	// Strategy names round-trip through ParseStrategy, so the normalized
+	// request re-resolves to an identical spec on a worker.
+	spec.req = JobRequest{
+		Workload:    w.Name(),
+		Scale:       spec.scaleName,
+		Policies:    append([]string(nil), spec.policyNames...),
+		Eps:         append([]float64(nil), spec.eps...),
+		Strategy:    spec.strategy.Name(),
+		Seed:        &spec.seed,
+		NoiseSigma:  &spec.noise,
+		Extrapolate: spec.extrapolate,
+		WarmStart:   &spec.warm,
+		Dedup:       &spec.dedup,
+	}
+	spec.fingerprint = fingerprintSpec(spec)
 	return spec, nil
+}
+
+// fingerprintSpec content-addresses a resolved spec: SHA-256 over the
+// canonical JSON of every field that determines the simulation's output.
+// Dedup itself is excluded — it is routing policy, not work identity.
+func fingerprintSpec(spec *jobSpec) string {
+	canon := struct {
+		Workload    string    `json:"workload"`
+		Scale       string    `json:"scale"`
+		Policies    []string  `json:"policies"`
+		Eps         []float64 `json:"eps"`
+		Strategy    string    `json:"strategy"`
+		Seed        uint64    `json:"seed"`
+		NoiseSigma  float64   `json:"noiseSigma"`
+		Extrapolate bool      `json:"extrapolate"`
+		WarmStart   bool      `json:"warmStart"`
+	}{
+		Workload:    spec.workload.Name(),
+		Scale:       spec.scaleName,
+		Policies:    spec.policyNames,
+		Eps:         spec.eps,
+		Strategy:    spec.strategy.Name(),
+		Seed:        spec.seed,
+		NoiseSigma:  spec.noise,
+		Extrapolate: spec.extrapolate,
+		WarmStart:   spec.warm,
+	}
+	data, err := json.Marshal(canon)
+	if err != nil {
+		// Every field above is a plain value; Marshal cannot fail.
+		panic(fmt.Sprintf("service: fingerprint marshal: %v", err))
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(data))
 }
 
 // joinOr renders a comma-joined list, or fallback when it is empty.

@@ -2,8 +2,14 @@
 // with a bounded queue and per-job contexts wraps the autotune Tuner,
 // streams completion-ordered progress events (reusing Tuner.Stream), and
 // shares a ProfileStore so later jobs warm-start from what earlier jobs on
-// the same workload learned. The HTTP layer (http.go, served by
-// cmd/critter-serve) exposes it as a versioned JSON API.
+// the same workload learned. On top of that sit three production
+// capabilities: identical submissions coalesce onto one execution
+// (dedup.go semantics live in this file and persist.go), finished jobs and
+// merged profiles survive restarts through an optional durable store
+// (persist.go), and queued jobs can be leased to remote worker processes
+// with heartbeat-driven requeue on worker death (lease.go, worker.go). The
+// HTTP layer (http.go, served by cmd/critter-serve) exposes it all as a
+// versioned JSON API.
 package service
 
 import (
@@ -11,11 +17,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"critter/internal/autotune"
 	"critter/internal/critter"
 	"critter/internal/sim"
+	"critter/internal/store"
 	"critter/internal/workload"
 )
 
@@ -39,7 +47,11 @@ func (s State) terminal() bool {
 // completion order (the order Tuner.Stream yields sweeps, not grid order).
 // It is also the SSE payload shape of GET /v1/jobs/{id}/events.
 type Event struct {
-	// Type is queued, started, sweep, done, failed, or canceled.
+	// Type is queued, started, sweep, requeued, lagged, done, failed, or
+	// canceled. requeued means the job's worker lease expired and it went
+	// back to the queue; lagged is synthesized per subscriber by the SSE
+	// layer when backpressure dropped events (it never appears in the
+	// stored history).
 	Type string `json:"type"`
 	// Job is the job ID the event belongs to.
 	Job string `json:"job"`
@@ -59,6 +71,13 @@ type Event struct {
 	Skipped  int64 `json:"skipped"`
 	// Error carries a sweep's or the job's failure, when there is one.
 	Error string `json:"error,omitempty"`
+	// Worker names the worker process involved: the leasing worker on
+	// started/sweep events of leased jobs, the dead worker on requeued
+	// events.
+	Worker string `json:"worker,omitempty"`
+	// Dropped counts the events a slow subscriber lost (lagged events
+	// only).
+	Dropped int `json:"dropped,omitempty"`
 }
 
 // JobStatus is the public snapshot of one job, and the JSON shape of
@@ -76,7 +95,20 @@ type JobStatus struct {
 	Extrapolate bool      `json:"extrapolate"`
 	// WarmStart reports whether the job actually applied a stored prior
 	// (requested warm start AND the store had one for the workload).
-	WarmStart   bool      `json:"warmStart"`
+	WarmStart bool `json:"warmStart"`
+	// Fingerprint content-addresses the job's work; identical submissions
+	// share it, and dedup coalesces on it.
+	Fingerprint string `json:"fingerprint"`
+	// Deduped marks a job that never executed itself: it coalesced onto
+	// DedupOf's execution and shares that job's result envelope
+	// byte-for-byte.
+	Deduped bool   `json:"deduped,omitempty"`
+	DedupOf string `json:"dedupOf,omitempty"`
+	// Worker names the worker process currently holding the job's lease,
+	// and Attempts counts execution attempts (lease expiries requeue and
+	// increment it).
+	Worker      string    `json:"worker,omitempty"`
+	Attempts    int       `json:"attempts,omitempty"`
 	SweepsDone  int       `json:"sweepsDone"`
 	SweepsTotal int       `json:"sweepsTotal"`
 	Error       string    `json:"error,omitempty"`
@@ -85,19 +117,26 @@ type JobStatus struct {
 	Finished    time.Time `json:"finished,omitzero"`
 }
 
+// subscriber is one bounded event-stream attachment. Slow consumers lose
+// events (dropped counts them) instead of blocking the scheduler.
+type subscriber struct {
+	ch      chan Event
+	dropped int
+}
+
 // job is the scheduler's internal record of one submission.
 type job struct {
 	id   string
-	spec *jobSpec
+	spec *jobSpec // nil only for jobs replayed from the durable store
 
 	mu          sync.Mutex
 	state       State
 	err         error
 	envelope    *autotune.Envelope
 	events      []Event
-	subs        map[int]chan Event
+	subs        map[int]*subscriber
 	nextSub     int
-	cancel      context.CancelFunc // set while running
+	cancel      context.CancelFunc // set while running locally
 	warmApplied bool
 	sweepsDone  int
 	sweepsTotal int
@@ -105,33 +144,75 @@ type job struct {
 	started     time.Time
 	finished    time.Time
 	done        chan struct{} // closed on terminal state
+
+	// Dedup wiring: a follower mirrors its primary's events and shares
+	// its envelope; a primary fans out to its live followers.
+	deduped   bool
+	dedupOf   string
+	primary   *job   // followers: set until the primary terminates
+	followers []*job // primaries: live followers to mirror into
+
+	// Lease wiring for jobs executing on a remote worker.
+	worker        string
+	leaseDeadline time.Time
+	attempts      int
+
+	// replay is the status snapshot of a job restored from the durable
+	// store, returned verbatim by statusLocked (spec is nil for these).
+	replay *JobStatus
 }
 
-// emitLocked appends an event and fans it out to subscribers. Callers hold
-// j.mu. Subscriber channels are buffered to the job's maximal event count,
-// so sends never block.
-func (j *job) emitLocked(ev Event) {
+// deliverLocked appends an event to this job's history and offers it to
+// every subscriber, dropping for any whose bounded buffer is full. Callers
+// hold j.mu.
+func (j *job) deliverLocked(ev Event) {
 	j.events = append(j.events, ev)
-	for _, ch := range j.subs {
-		ch <- ev
+	for _, sb := range j.subs {
+		select {
+		case sb.ch <- ev:
+		default:
+			sb.dropped++
+		}
 	}
 }
 
-// maxEvents bounds how many events one job can emit: queued + started +
-// one per sweep + one terminal.
-func (j *job) maxEvents() int { return j.sweepsTotal + 3 }
+// emitLocked delivers an event and mirrors it — job ID rewritten, progress
+// fields copied — into every live follower. Callers hold j.mu; follower
+// locks nest inside (lock order: primary.mu before follower.mu).
+func (j *job) emitLocked(ev Event) {
+	j.deliverLocked(ev)
+	for _, f := range j.followers {
+		f.mu.Lock()
+		f.state = j.state
+		f.warmApplied = j.warmApplied
+		f.sweepsDone = j.sweepsDone
+		f.started = j.started
+		f.worker = j.worker
+		f.attempts = j.attempts
+		fv := ev
+		fv.Job = f.id
+		f.deliverLocked(fv)
+		f.mu.Unlock()
+	}
+}
 
 // closeSubsLocked detaches and closes every subscriber channel after the
 // terminal event has been emitted. Callers hold j.mu.
 func (j *job) closeSubsLocked() {
-	for idx, ch := range j.subs {
+	for idx, sb := range j.subs {
 		delete(j.subs, idx)
-		close(ch)
+		close(sb.ch)
 	}
 }
 
 // statusLocked snapshots the job. Callers hold j.mu.
 func (j *job) statusLocked() JobStatus {
+	if j.replay != nil {
+		st := *j.replay
+		st.Policies = append([]string(nil), st.Policies...)
+		st.Eps = append([]float64(nil), st.Eps...)
+		return st
+	}
 	st := JobStatus{
 		ID:          j.id,
 		State:       j.state,
@@ -144,6 +225,11 @@ func (j *job) statusLocked() JobStatus {
 		NoiseSigma:  j.spec.noise,
 		Extrapolate: j.spec.extrapolate,
 		WarmStart:   j.warmApplied,
+		Fingerprint: j.spec.fingerprint,
+		Deduped:     j.deduped,
+		DedupOf:     j.dedupOf,
+		Worker:      j.worker,
+		Attempts:    j.attempts,
 		SweepsDone:  j.sweepsDone,
 		SweepsTotal: j.sweepsTotal,
 		Submitted:   j.submitted,
@@ -167,9 +253,10 @@ type Config struct {
 	// QueueSize bounds the pending-job queue; Submit fails with
 	// ErrQueueFull beyond it. 0 means 16.
 	QueueSize int
-	// Runners is how many jobs execute concurrently. 0 means 1: jobs run
-	// strictly in submission order, each one's profile warm-starting the
-	// next.
+	// Runners is how many jobs execute concurrently in this process. 0
+	// means 1: jobs run strictly in submission order, each one's profile
+	// warm-starting the next. Negative means no local runners at all —
+	// jobs execute only when remote workers lease them.
 	Runners int
 	// Workers bounds each job's sweep pool (Tuner.Workers); 0 means
 	// GOMAXPROCS.
@@ -177,16 +264,33 @@ type Config struct {
 	// Store accumulates learned profiles across jobs; nil means a fresh
 	// store private to this scheduler.
 	Store *ProfileStore
+	// Durable persists finished jobs (envelopes included) and merged
+	// profiles across restarts; nil means in-memory only. The scheduler
+	// replays it on construction and appends on every completion. The
+	// caller retains ownership and closes it after Close. See persist.go
+	// for the exact restart semantics.
+	Durable *store.Store
 	// MaxHistory bounds how many finished (terminal) jobs are retained
 	// for Status/Result lookups; beyond it the oldest terminal jobs are
 	// evicted, envelopes and event histories included, so a long-running
 	// server cannot grow without bound. Queued and running jobs never
 	// count against it. 0 means 256; negative disables eviction.
 	MaxHistory int
+	// LeaseTTL bounds how long a worker may hold a leased job between
+	// heartbeats before the janitor requeues it. 0 means 10s.
+	LeaseTTL time.Duration
+	// SubBuffer bounds each event subscriber's channel; a consumer that
+	// falls further behind loses intermediate events (flagged by the SSE
+	// layer with a lagged event) instead of blocking the scheduler. 0
+	// means 64.
+	SubBuffer int
+	// Logf, when set, receives operational log lines (persistence
+	// failures, lease requeues). nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // ErrQueueFull is returned by Submit when the bounded job queue is at
-// capacity.
+// capacity; the HTTP layer maps it to 429 with a Retry-After hint.
 var ErrQueueFull = errors.New("service: job queue is full")
 
 // ErrClosed is returned by Submit after Close has begun.
@@ -196,29 +300,45 @@ var ErrClosed = errors.New("service: scheduler is shutting down")
 var ErrFinished = errors.New("service: job already finished")
 
 // Scheduler executes submitted tuning jobs on a fixed set of runner
-// goroutines, with a bounded queue, per-job cancellation, completion-order
-// progress events, and a shared warm-start profile store.
+// goroutines and any number of remote workers, with a bounded queue,
+// per-job cancellation, completion-order progress events, request
+// dedup/memoization, durable history, and a shared warm-start profile
+// store.
 type Scheduler struct {
 	cfg     Config
 	reg     *workload.Registry
 	store   *ProfileStore
+	durable *store.Store
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
+	// tunerRuns counts Tuner executions started by this process's
+	// runners — the witness that dedup coalesced instead of re-running.
+	tunerRuns atomic.Int64
+
 	// mu guards everything below; cond (tied to mu) wakes runners when
 	// pending grows or the scheduler closes. Lock order: mu before any
-	// job's mu — runners release mu before touching the popped job.
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []*job // the bounded queue; canceling a queued job removes it here
-	jobs    map[string]*job
-	order   []string
-	nextID  int
-	closed  bool
+	// job's mu, a primary job's mu before its followers' — never the
+	// reverse.
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []*job // the bounded queue; canceling a queued job removes it here
+	jobs        map[string]*job
+	order       []string
+	nextID      int
+	closed      bool
+	inflight    map[string]*job      // fingerprint -> executing primary (dedup on)
+	memo        map[string]string    // fingerprint -> finished cold job (dedup on, warm off)
+	persisted   map[string]time.Time // workload -> last durable profile write
+	workers     map[string]*workerState
+	nextWorker  int
+	stopJanitor chan struct{}
 }
 
-// New starts a scheduler: its runner goroutines live until Close.
+// New starts a scheduler: its runner and janitor goroutines live until
+// Close. When cfg.Durable is set, history and profiles are replayed from
+// it before the first runner starts.
 func New(cfg Config) *Scheduler {
 	if cfg.Registry == nil {
 		cfg.Registry = workload.Default()
@@ -229,8 +349,11 @@ func New(cfg Config) *Scheduler {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 16
 	}
-	if cfg.Runners <= 0 {
+	if cfg.Runners == 0 {
 		cfg.Runners = 1
+	}
+	if cfg.Runners < 0 {
+		cfg.Runners = 0
 	}
 	if cfg.Store == nil {
 		cfg.Store = NewProfileStore()
@@ -238,16 +361,29 @@ func New(cfg Config) *Scheduler {
 	if cfg.MaxHistory == 0 {
 		cfg.MaxHistory = 256
 	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.SubBuffer <= 0 {
+		cfg.SubBuffer = 64
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Scheduler{
-		cfg:     cfg,
-		reg:     cfg.Registry,
-		store:   cfg.Store,
-		baseCtx: ctx,
-		stop:    stop,
-		jobs:    make(map[string]*job),
+		cfg:         cfg,
+		reg:         cfg.Registry,
+		store:       cfg.Store,
+		durable:     cfg.Durable,
+		baseCtx:     ctx,
+		stop:        stop,
+		jobs:        make(map[string]*job),
+		inflight:    make(map[string]*job),
+		memo:        make(map[string]string),
+		persisted:   make(map[string]time.Time),
+		workers:     make(map[string]*workerState),
+		stopJanitor: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.replayDurable()
 	for i := 0; i < cfg.Runners; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -261,7 +397,19 @@ func New(cfg Config) *Scheduler {
 			}
 		}()
 	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.janitor()
+	}()
 	return s
+}
+
+// logf forwards to cfg.Logf when set.
+func (s *Scheduler) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // nextJob blocks until a pending job is available or the scheduler is
@@ -286,9 +434,51 @@ func (s *Scheduler) Store() *ProfileStore { return s.store }
 // Registry returns the registry jobs resolve workloads against.
 func (s *Scheduler) Registry() *workload.Registry { return s.reg }
 
+// TunerRuns reports how many Tuner executions this process's runners have
+// started. Deduped and memoized submissions never increment it.
+func (s *Scheduler) TunerRuns() int64 { return s.tunerRuns.Load() }
+
+// RetryAfterHint estimates, in whole seconds, how long a client should
+// wait before resubmitting after ErrQueueFull. It is a coarse heuristic
+// (queue depth over runner count), clamped to [1, 60].
+func (s *Scheduler) RetryAfterHint() int {
+	runners := s.cfg.Runners
+	if runners <= 0 {
+		// Lease-only scheduler: drain rate depends on remote workers we
+		// cannot see from here.
+		return 5
+	}
+	hint := s.cfg.QueueSize / runners
+	if hint < 1 {
+		hint = 1
+	}
+	if hint > 60 {
+		hint = 60
+	}
+	return hint
+}
+
+// ProfileInfo returns the encoded merged profile for a workload plus the
+// time it was last durably persisted (zero when the scheduler has no
+// durable store or the profile has not been written yet).
+func (s *Scheduler) ProfileInfo(name string) ([]byte, time.Time, bool) {
+	p := s.store.Get(name)
+	if p == nil {
+		return nil, time.Time{}, false
+	}
+	data, err := p.Encode()
+	if err != nil {
+		return nil, time.Time{}, false
+	}
+	s.mu.Lock()
+	at := s.persisted[name]
+	s.mu.Unlock()
+	return data, at, true
+}
+
 // SubmitJSON parses, validates, and enqueues a JSON job submission (the
 // body of POST /v1/jobs). Validation failures are returned verbatim for
-// the HTTP layer's 400; ErrQueueFull and ErrClosed map to 503.
+// the HTTP layer's 400; ErrQueueFull maps to 429 and ErrClosed to 503.
 func (s *Scheduler) SubmitJSON(data []byte) (JobStatus, error) {
 	spec, err := ParseJobRequest(s.reg, data)
 	if err != nil {
@@ -297,28 +487,55 @@ func (s *Scheduler) SubmitJSON(data []byte) (JobStatus, error) {
 	return s.submit(spec)
 }
 
-// submit enqueues a resolved spec.
+// submit enqueues a resolved spec, or — when dedup is enabled and an
+// identical job is executing or memoized — coalesces onto it without
+// consuming a queue slot.
 func (s *Scheduler) submit(spec *jobSpec) (JobStatus, error) {
-	j := &job{
-		spec:        spec,
-		state:       StateQueued,
-		subs:        make(map[int]chan Event),
-		sweepsTotal: len(spec.policies) * len(spec.eps),
-		submitted:   time.Now(),
-		done:        make(chan struct{}),
-	}
+	now := time.Now()
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return JobStatus{}, ErrClosed
 	}
+
+	if spec.dedup {
+		if p, ok := s.inflight[spec.fingerprint]; ok {
+			st, recs := s.attachFollowerLocked(p, spec, now)
+			s.mu.Unlock()
+			if len(recs) > 0 {
+				s.persistJobs(recs)
+			}
+			s.pruneHistory()
+			return st, nil
+		}
+		if doneID, ok := s.memo[spec.fingerprint]; ok {
+			if d, live := s.jobs[doneID]; live {
+				if st, recs, ok := s.memoHitLocked(d, spec, now); ok {
+					s.mu.Unlock()
+					s.persistJobs(recs)
+					s.pruneHistory()
+					return st, nil
+				}
+			}
+		}
+	}
+
 	// The pending list is the bound: running jobs have left it, and
 	// canceled queued jobs are removed immediately, so capacity counts
-	// only work that is genuinely waiting.
+	// only work that is genuinely waiting. Coalesced submissions above
+	// never consume a slot.
 	if len(s.pending) >= s.cfg.QueueSize {
 		s.mu.Unlock()
 		return JobStatus{}, ErrQueueFull
+	}
+	j := &job{
+		spec:        spec,
+		state:       StateQueued,
+		subs:        make(map[int]*subscriber),
+		sweepsTotal: len(spec.policies) * len(spec.eps),
+		submitted:   now,
+		done:        make(chan struct{}),
 	}
 	s.nextID++
 	j.id = fmt.Sprintf("job-%d", s.nextID)
@@ -330,12 +547,115 @@ func (s *Scheduler) submit(spec *jobSpec) (JobStatus, error) {
 	s.pending = append(s.pending, j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	if spec.dedup {
+		s.inflight[spec.fingerprint] = j
+	}
 	s.cond.Signal()
 	s.mu.Unlock()
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.statusLocked(), nil
+}
+
+// attachFollowerLocked coalesces a new submission onto an executing
+// primary: the follower replays the primary's history under its own ID,
+// mirrors subsequent events, and shares the final envelope. Caller holds
+// s.mu. Returns persistence records only when the primary turned out to be
+// terminal already (the follower is then born terminal and must persist
+// itself; live followers persist when the primary terminates).
+func (s *Scheduler) attachFollowerLocked(p *job, spec *jobSpec, now time.Time) (JobStatus, []persistedJob) {
+	f := &job{
+		spec:      spec,
+		subs:      make(map[int]*subscriber),
+		submitted: now,
+		done:      make(chan struct{}),
+		deduped:   true,
+	}
+	s.nextID++
+	f.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[f.id] = f
+	s.order = append(s.order, f.id)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f.dedupOf = p.id
+	f.state = p.state
+	f.err = p.err
+	f.warmApplied = p.warmApplied
+	f.sweepsDone = p.sweepsDone
+	f.sweepsTotal = p.sweepsTotal
+	f.started = p.started
+	f.worker = p.worker
+	f.attempts = p.attempts
+	// Replay the primary's history under the follower's identity.
+	for _, ev := range p.events {
+		ev.Job = f.id
+		f.events = append(f.events, ev)
+	}
+	if p.state.terminal() {
+		// The primary finished between the inflight lookup and acquiring
+		// its lock: the follower is born terminal, sharing the final
+		// envelope (immutable once terminal, so serialization stays
+		// byte-identical).
+		f.envelope = p.envelope
+		f.finished = now
+		close(f.done)
+		f.mu.Lock()
+		st := f.statusLocked()
+		f.mu.Unlock()
+		return st, []persistedJob{{status: st, envelope: f.envelope, request: spec.req}}
+	}
+	f.primary = p
+	p.followers = append(p.followers, f)
+	f.mu.Lock()
+	st := f.statusLocked()
+	f.mu.Unlock()
+	return st, nil
+}
+
+// memoHitLocked satisfies a submission from a memoized finished job: the
+// new job is born terminal, sharing the stored envelope. Caller holds
+// s.mu; returns ok=false when the memoized job cannot back a result (no
+// envelope survived), in which case the caller falls through to a real
+// execution.
+func (s *Scheduler) memoHitLocked(d *job, spec *jobSpec, now time.Time) (JobStatus, []persistedJob, bool) {
+	d.mu.Lock()
+	env := d.envelope
+	total := d.sweepsTotal
+	dID := d.id
+	d.mu.Unlock()
+	if env == nil {
+		return JobStatus{}, nil, false
+	}
+
+	f := &job{
+		spec:        spec,
+		state:       StateDone,
+		envelope:    env,
+		subs:        make(map[int]*subscriber),
+		sweepsDone:  total,
+		sweepsTotal: total,
+		submitted:   now,
+		started:     now,
+		finished:    now,
+		done:        make(chan struct{}),
+		deduped:     true,
+		dedupOf:     dID,
+	}
+	s.nextID++
+	f.id = fmt.Sprintf("job-%d", s.nextID)
+	f.events = []Event{
+		{Type: "queued", Job: f.id, Total: total},
+		{Type: "done", Job: f.id, Done: total, Total: total},
+	}
+	close(f.done)
+	s.jobs[f.id] = f
+	s.order = append(s.order, f.id)
+	f.mu.Lock()
+	st := f.statusLocked()
+	f.mu.Unlock()
+	return st, []persistedJob{{status: st, envelope: env, request: spec.req}}, true
 }
 
 // lookup resolves a job by ID.
@@ -346,16 +666,15 @@ func (s *Scheduler) lookup(id string) (*job, bool) {
 	return j, ok
 }
 
-// pruneHistory evicts the oldest terminal jobs beyond MaxHistory. Called
-// after a job reaches a terminal state, outside any job lock (s.mu is
-// taken first, each candidate's j.mu second — the scheduler's lock
-// order).
+// pruneHistory evicts the oldest terminal jobs beyond MaxHistory, cleaning
+// their memo entries and durable records along the way. Called after a job
+// reaches a terminal state, outside any job lock (s.mu is taken first,
+// each candidate's j.mu second — the scheduler's lock order).
 func (s *Scheduler) pruneHistory() {
 	if s.cfg.MaxHistory < 0 {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var terminal []string
 	for _, id := range s.order {
 		j := s.jobs[id]
@@ -367,12 +686,20 @@ func (s *Scheduler) pruneHistory() {
 		}
 	}
 	if len(terminal) <= s.cfg.MaxHistory {
+		s.mu.Unlock()
 		return
 	}
 	evict := make(map[string]bool, len(terminal)-s.cfg.MaxHistory)
+	evicted := make([]string, 0, len(terminal)-s.cfg.MaxHistory)
 	for _, id := range terminal[:len(terminal)-s.cfg.MaxHistory] {
 		evict[id] = true
+		evicted = append(evicted, id)
 		delete(s.jobs, id)
+	}
+	for fp, id := range s.memo {
+		if evict[id] {
+			delete(s.memo, fp)
+		}
 	}
 	kept := s.order[:0]
 	for _, id := range s.order {
@@ -381,6 +708,16 @@ func (s *Scheduler) pruneHistory() {
 		}
 	}
 	s.order = kept
+	s.mu.Unlock()
+
+	if s.durable == nil {
+		return
+	}
+	for _, id := range evicted {
+		if err := s.durable.Delete(kindJob, id, time.Now()); err != nil {
+			s.logf("service: durable delete %s: %v", id, err)
+		}
+	}
 }
 
 // Status snapshots a job.
@@ -394,7 +731,7 @@ func (s *Scheduler) Status(id string) (JobStatus, bool) {
 	return j.statusLocked(), true
 }
 
-// Jobs snapshots every job in submission order.
+// Jobs snapshots every job in submission order (replayed history first).
 func (s *Scheduler) Jobs() []JobStatus {
 	s.mu.Lock()
 	ids := append([]string(nil), s.order...)
@@ -423,9 +760,12 @@ func (s *Scheduler) Result(id string) (*autotune.Envelope, bool) {
 }
 
 // Cancel stops a job: a queued job is marked canceled and skipped when a
-// runner pops it; a running job's context is canceled, aborting its sweeps
-// at the next configuration boundary. Canceling a finished job returns
-// ErrFinished.
+// runner pops it; a locally running job's context is canceled, aborting
+// its sweeps at the next configuration boundary; a leased job is
+// terminated immediately (the worker's later posts get ErrLeaseLost); a
+// deduped follower detaches alone, leaving the shared execution running
+// for everyone else — canceling the primary, by contrast, cancels the
+// whole coalesced group. Canceling a finished job returns ErrFinished.
 func (s *Scheduler) Cancel(id string) (JobStatus, error) {
 	// Pull the job out of the pending queue first (s.mu strictly before
 	// j.mu): a canceled queued job must free its queue slot immediately,
@@ -445,65 +785,106 @@ func (s *Scheduler) Cancel(id string) (JobStatus, error) {
 	s.mu.Unlock()
 
 	j.mu.Lock()
-	var retErr error
-	prune := false
 	switch {
-	case j.state == StateQueued:
-		// Either removed from pending above, or popped by a runner that
-		// has not started it yet — the runner's own state check will
-		// skip it either way.
-		j.state = StateCanceled
-		j.err = context.Canceled
-		j.finished = time.Now()
-		j.emitLocked(Event{Type: "canceled", Job: j.id, Done: j.sweepsDone, Total: j.sweepsTotal, Error: j.err.Error()})
-		j.closeSubsLocked()
-		close(j.done)
-		prune = true
-	case j.state == StateRunning:
-		// The terminal transition happens in runJob when the stream
-		// drains; this just triggers it.
+	case j.state.terminal():
+		st := j.statusLocked()
+		j.mu.Unlock()
+		return st, ErrFinished
+	case j.primary != nil:
+		// Live follower: detach from the primary, then cancel alone.
+		p := j.primary
+		j.mu.Unlock()
+		p.mu.Lock()
+		for i, f := range p.followers {
+			if f == j {
+				p.followers = append(p.followers[:i], p.followers[i+1:]...)
+				break
+			}
+		}
+		p.mu.Unlock()
+	case j.state == StateRunning && j.cancel != nil:
+		// Locally running: the terminal transition happens in runJob when
+		// the stream drains; this just triggers it.
 		j.cancel()
+		st := j.statusLocked()
+		j.mu.Unlock()
+		return st, nil
 	default:
-		retErr = ErrFinished
+		// Queued, or leased to a worker: terminate directly below.
+		j.mu.Unlock()
 	}
-	st := j.statusLocked()
-	j.mu.Unlock()
-	if prune {
-		// Outside j.mu: pruning takes s.mu first, then job locks (the
-		// scheduler's lock order).
-		s.pruneHistory()
+
+	if !s.terminate(j, StateCanceled, context.Canceled, nil, "canceled") {
+		// Lost the race with completion.
+		st, _ := s.Status(id)
+		return st, ErrFinished
 	}
-	return st, retErr
+	st, _ := s.Status(id)
+	return st, nil
 }
 
-// Subscribe returns a replay of the job's past events plus a live channel
-// for the rest, and an unsubscribe func. The live channel is nil when the
-// job is already terminal (the replay is complete); otherwise it is closed
-// after the terminal event is delivered.
-func (s *Scheduler) Subscribe(id string) (past []Event, live <-chan Event, unsubscribe func(), ok bool) {
+// Subscription is one live attachment to a job's event stream, returned by
+// Subscribe.
+type Subscription struct {
+	// Past replays every event emitted before the subscription attached.
+	Past []Event
+	// C streams subsequent events. It is nil when the job was already
+	// terminal (Past is then the complete history), and is closed after
+	// the terminal event is delivered — or earlier, without one, when the
+	// consumer was too slow to receive it; check Dropped on close.
+	C <-chan Event
+
+	j   *job
+	sb  *subscriber
+	idx int
+}
+
+// Dropped reports how many events this subscription lost to backpressure.
+func (sub *Subscription) Dropped() int {
+	if sub.sb == nil {
+		return 0
+	}
+	sub.j.mu.Lock()
+	defer sub.j.mu.Unlock()
+	return sub.sb.dropped
+}
+
+// Close detaches the subscription. It is safe to call more than once and
+// after the job finished.
+func (sub *Subscription) Close() {
+	if sub.sb == nil {
+		return
+	}
+	sub.j.mu.Lock()
+	defer sub.j.mu.Unlock()
+	if _, still := sub.j.subs[sub.idx]; still {
+		delete(sub.j.subs, sub.idx)
+		close(sub.sb.ch)
+	}
+}
+
+// Subscribe attaches to a job's event stream: a replay of past events plus
+// a bounded live channel for the rest. Slow consumers lose intermediate
+// events rather than blocking the scheduler — Subscription.Dropped counts
+// the losses, and the SSE layer surfaces them as a lagged event.
+func (s *Scheduler) Subscribe(id string) (*Subscription, bool) {
 	j, found := s.lookup(id)
 	if !found {
-		return nil, nil, nil, false
+		return nil, false
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	past = append([]Event(nil), j.events...)
+	sub := &Subscription{Past: append([]Event(nil), j.events...), j: j}
 	if j.state.terminal() {
-		return past, nil, func() {}, true
+		return sub, true
 	}
-	ch := make(chan Event, j.maxEvents())
-	idx := j.nextSub
+	sb := &subscriber{ch: make(chan Event, s.cfg.SubBuffer)}
+	sub.sb = sb
+	sub.idx = j.nextSub
 	j.nextSub++
-	j.subs[idx] = ch
-	unsubscribe = func() {
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		if _, still := j.subs[idx]; still {
-			delete(j.subs, idx)
-			close(ch)
-		}
-	}
-	return past, ch, unsubscribe, true
+	j.subs[sub.idx] = sb
+	sub.C = sb.ch
+	return sub, true
 }
 
 // Wait blocks until the job reaches a terminal state (or ctx is done) and
@@ -525,10 +906,13 @@ func (s *Scheduler) Wait(ctx context.Context, id string) (JobStatus, error) {
 // Close shuts the scheduler down gracefully: no new submissions, queued
 // and running jobs are given until ctx is done to finish, then everything
 // still running is canceled. Close returns when every runner has exited.
+// Jobs leased to remote workers are not waited for; their result posts
+// after Close fail with ErrLeaseLost or a closed listener.
 func (s *Scheduler) Close(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
+		close(s.stopJanitor)
 		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
@@ -568,48 +952,13 @@ func (s *Scheduler) runJob(j *job) {
 	j.state = StateRunning
 	j.cancel = cancel
 	j.warmApplied = prior != nil
+	j.attempts++
 	j.started = time.Now()
 	j.emitLocked(Event{Type: "started", Job: j.id, Total: j.sweepsTotal})
 	j.mu.Unlock()
 
-	study := spec.workload.Build(spec.scale)
-	machine := s.cfg.Machine
-	machine.NoiseSigma = spec.noise
-	tn := autotune.Tuner{
-		Study:       study,
-		EpsList:     spec.eps,
-		Machine:     machine,
-		Seed:        spec.seed,
-		Policies:    spec.policies,
-		Strategy:    spec.strategy,
-		Prior:       prior,
-		Extrapolate: spec.extrapolate,
-		Workers:     s.cfg.Workers,
-	}
-
-	// Stream the grid: sweeps arrive in completion order for the event
-	// feed and are placed back into their (policy, eps) cells, rebuilding
-	// exactly the grid Tuner.Run would have returned (failed cells
-	// zeroed).
-	res := &autotune.Result{
-		Study:    study.Name,
-		Strategy: spec.strategy.Name(),
-		Policies: spec.policies,
-		EpsList:  spec.eps,
-		Sweeps:   make([][]autotune.SweepResult, len(spec.policies)),
-	}
-	filled := make([][]bool, len(spec.policies))
-	for pi := range res.Sweeps {
-		res.Sweeps[pi] = make([]autotune.SweepResult, len(spec.eps))
-		filled[pi] = make([]bool, len(spec.eps))
-	}
-	var errs []error
-	for sw, err := range tn.Stream(ctx) {
-		if err == nil {
-			placeSweep(res, filled, sw)
-		} else {
-			errs = append(errs, err)
-		}
+	s.tunerRuns.Add(1)
+	env, merged, err := executeSpec(ctx, spec, s.cfg.Machine, s.cfg.Workers, prior, func(sw autotune.SweepResult, swErr error) {
 		j.mu.Lock()
 		j.sweepsDone++
 		ev := Event{
@@ -618,34 +967,17 @@ func (s *Scheduler) runJob(j *job) {
 			Done: j.sweepsDone, Total: j.sweepsTotal,
 			Executed: sw.Executed, Skipped: sw.Skipped,
 		}
-		if err != nil {
-			ev.Error = err.Error()
+		if swErr != nil {
+			ev.Error = swErr.Error()
 		}
 		j.emitLocked(ev)
 		j.mu.Unlock()
-	}
+	})
 
 	// What the job learned feeds the store, partial grids included: a
 	// timed-out run's completed sweeps are still valid statistics.
-	merged := autotune.MergedProfile(res)
-	s.store.Merge(spec.workload.Name(), merged)
+	s.mergeProfile(spec.workload.Name(), merged)
 
-	env := &autotune.Envelope{
-		SchemaVersion: autotune.ResultSchemaVersion,
-		Study:         study.Name,
-		Scale:         spec.scaleName,
-		Seed:          spec.seed,
-		NoiseSigma:    spec.noise,
-		Strategy:      spec.strategy.Name(),
-		Profiles:      autotune.ProfileSummaries(res),
-		Result:        res,
-	}
-	if prior != nil {
-		sum := autotune.Summarize("", 0, prior)
-		env.Prior = &sum
-	}
-
-	err := errors.Join(errs...)
 	state := StateDone
 	typ := "done"
 	switch {
@@ -655,22 +987,129 @@ func (s *Scheduler) runJob(j *job) {
 	default:
 		state, typ = StateFailed, "failed"
 	}
+	s.terminate(j, state, err, env, typ)
+}
+
+// terminate drives a job (and its live followers) to a terminal state,
+// updates the dedup maps, persists the outcome, and prunes history. It is
+// the single terminal-transition path — runners, lease completion, the
+// janitor's give-up, and cancellation all funnel through it. Reports false
+// when the job was already terminal. Callers must not hold s.mu or any
+// job lock.
+func (s *Scheduler) terminate(j *job, state State, err error, env *autotune.Envelope, typ string) bool {
+	now := time.Now()
 
 	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
 	j.state = state
 	j.err = err
 	j.envelope = env
-	j.finished = time.Now()
+	// j.worker stays: the terminal status records where the job ran. The
+	// janitor skips terminal jobs, so the lease bookkeeping is moot.
+	j.leaseDeadline = time.Time{}
+	j.finished = now
 	ev := Event{Type: typ, Job: j.id, Done: j.sweepsDone, Total: j.sweepsTotal}
 	if err != nil {
 		ev.Error = err.Error()
 	}
-	j.emitLocked(ev)
+	j.deliverLocked(ev)
 	j.closeSubsLocked()
 	close(j.done)
+	worker := j.worker
+	followers := j.followers
+	j.followers = nil
+	recs := []persistedJob{{status: j.statusLocked(), envelope: env, request: j.persistRequest()}}
 	j.mu.Unlock()
 
+	// Followers share the outcome and the envelope pointer: the envelope
+	// is immutable once terminal, so every follower's serialized result
+	// is byte-identical to the primary's.
+	for _, f := range followers {
+		f.mu.Lock()
+		if f.state.terminal() {
+			f.mu.Unlock()
+			continue
+		}
+		f.state = state
+		f.err = err
+		f.envelope = env
+		f.worker = worker
+		f.sweepsDone = ev.Done
+		f.finished = now
+		f.primary = nil
+		fv := ev
+		fv.Job = f.id
+		f.deliverLocked(fv)
+		f.closeSubsLocked()
+		close(f.done)
+		recs = append(recs, persistedJob{status: f.statusLocked(), envelope: env, request: f.persistRequest()})
+		f.mu.Unlock()
+	}
+
+	// One s.mu section clears the in-flight registration and installs the
+	// memo entry atomically, so a concurrent submit sees exactly one of
+	// them — there is no window where an identical job would re-execute.
+	// Memoization applies only to deterministic runs: dedup on, warm
+	// start off (a warm run's output depends on the evolving profile
+	// store), and a clean finish.
+	s.mu.Lock()
+	if j.spec != nil && j.spec.dedup {
+		if s.inflight[j.spec.fingerprint] == j {
+			delete(s.inflight, j.spec.fingerprint)
+		}
+		if state == StateDone && !j.spec.warm && env != nil {
+			s.memo[j.spec.fingerprint] = j.id
+		}
+	}
+	for _, w := range s.workers {
+		delete(w.jobs, j.id)
+	}
+	s.mu.Unlock()
+
+	s.persistJobs(recs)
 	s.pruneHistory()
+	return true
+}
+
+// persistRequest returns the job's normalized request for the durable
+// record. Callers hold j.mu.
+func (j *job) persistRequest() JobRequest {
+	if j.spec == nil {
+		return JobRequest{}
+	}
+	return j.spec.req
+}
+
+// mergeProfile folds a finished run's learned profile into the shared
+// store and persists the merged result durably.
+func (s *Scheduler) mergeProfile(name string, p *critter.Profile) {
+	if p == nil {
+		return
+	}
+	s.store.Merge(name, p)
+	if s.durable == nil {
+		return
+	}
+	merged := s.store.Get(name)
+	if merged == nil {
+		return
+	}
+	data, err := merged.Encode()
+	if err != nil {
+		s.logf("service: encode profile %s: %v", name, err)
+		return
+	}
+	now := time.Now()
+	if err := s.durable.Append(store.Record{Kind: kindProfile, Key: name, At: now, Data: data}); err != nil {
+		s.logf("service: persist profile %s: %v", name, err)
+		return
+	}
+	s.mu.Lock()
+	s.persisted[name] = now
+	s.mu.Unlock()
 }
 
 // placeSweep stores a completed sweep into its (policy, eps) grid cell.

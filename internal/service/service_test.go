@@ -127,7 +127,9 @@ func TestQueueBounded(t *testing.T) {
 	s := New(Config{Registry: blockingRegistry(gate), Runners: 1, QueueSize: 2})
 	defer closeNow(t, s)
 
-	const body = `{"workload":"block"}`
+	// dedup off: these submissions are intentionally identical, and the
+	// test is about queue capacity, not coalescing.
+	const body = `{"workload":"block","dedup":false}`
 	running, err := s.SubmitJSON([]byte(body))
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +203,9 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	s := New(Config{Registry: blockingRegistry(gate), Runners: 1, QueueSize: 4})
 	defer closeNow(t, s)
 
-	const body = `{"workload":"block"}`
+	// dedup off: the queued duplicate must stay an independent job so the
+	// test exercises queued-state cancellation, not follower detachment.
+	const body = `{"workload":"block","dedup":false}`
 	running, err := s.SubmitJSON([]byte(body))
 	if err != nil {
 		t.Fatal(err)
@@ -258,7 +262,9 @@ func TestHistoryPruning(t *testing.T) {
 	s := New(Config{Registry: blockingRegistry(gate), Runners: 1, QueueSize: 8, MaxHistory: 2})
 	defer closeNow(t, s)
 
-	const body = `{"workload":"block"}`
+	// dedup off: five independent terminal records, not one execution
+	// plus four memo hits.
+	const body = `{"workload":"block","dedup":false}`
 	var ids []string
 	for i := 0; i < 5; i++ {
 		ids = append(ids, submitWait(t, s, body).ID)
@@ -297,19 +303,19 @@ func TestEventStreamReplayAndLive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	past, live, unsubscribe, ok := s.Subscribe(st.ID)
+	sub, ok := s.Subscribe(st.ID)
 	if !ok {
 		t.Fatal("Subscribe failed")
 	}
-	defer unsubscribe()
+	defer sub.Close()
 
-	events := append([]Event(nil), past...)
-	if live != nil {
+	events := append([]Event(nil), sub.Past...)
+	if sub.C != nil {
 		timeout := time.After(5 * time.Minute)
 	collect:
 		for {
 			select {
-			case ev, open := <-live:
+			case ev, open := <-sub.C:
 				if !open {
 					break collect
 				}
@@ -318,6 +324,9 @@ func TestEventStreamReplayAndLive(t *testing.T) {
 				t.Fatal("event stream never terminated")
 			}
 		}
+	}
+	if n := sub.Dropped(); n != 0 {
+		t.Fatalf("attentive subscriber dropped %d events", n)
 	}
 
 	if len(events) == 0 || events[0].Type != "queued" {
@@ -354,12 +363,12 @@ func TestEventStreamReplayAndLive(t *testing.T) {
 
 	// A subscriber attaching after the end gets the whole history as
 	// replay with no live channel.
-	all, liveAfter, unsub2, ok := s.Subscribe(st.ID)
-	if !ok || liveAfter != nil {
-		t.Fatalf("post-terminal Subscribe: ok=%v live=%v", ok, liveAfter)
+	after, ok := s.Subscribe(st.ID)
+	if !ok || after.C != nil {
+		t.Fatalf("post-terminal Subscribe: ok=%v live=%v", ok, after.C)
 	}
-	defer unsub2()
-	if len(all) != len(events) {
-		t.Errorf("post-terminal replay has %d events, want %d", len(all), len(events))
+	defer after.Close()
+	if len(after.Past) != len(events) {
+		t.Errorf("post-terminal replay has %d events, want %d", len(after.Past), len(events))
 	}
 }

@@ -1,0 +1,254 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestLeaseExpiryAndGiveUp exercises the lease state machine with a fake
+// worker that keeps dying: each expired lease requeues the job at the
+// front with progress reset, and the third death fails it rather than
+// requeueing forever.
+func TestLeaseExpiryAndGiveUp(t *testing.T) {
+	s := New(Config{Registry: blockingRegistry(make(chan struct{})), Runners: -1, LeaseTTL: 200 * time.Millisecond})
+	defer closeNow(t, s)
+
+	st, err := s.SubmitJSON([]byte(`{"workload":"block","eps":[0.25],"warmStart":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.LeaseJob("w-bogus"); err != ErrUnknownWorker {
+		t.Errorf("lease with unregistered worker: %v, want ErrUnknownWorker", err)
+	}
+
+	wid, ttl, err := s.RegisterWorker("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttl != 200*time.Millisecond {
+		t.Errorf("registered TTL %v", ttl)
+	}
+
+	requeues := 0
+	for attempt := 1; attempt <= maxLeaseAttempts; attempt++ {
+		grant, err := s.LeaseJob(wid)
+		if err != nil {
+			t.Fatalf("lease attempt %d: %v", attempt, err)
+		}
+		if grant == nil || grant.Job != st.ID {
+			t.Fatalf("lease attempt %d granted %+v, want job %s", attempt, grant, st.ID)
+		}
+		if grant.Request.Workload != "block" {
+			t.Errorf("grant request %+v", grant.Request)
+		}
+		running, _ := s.Status(st.ID)
+		if running.State != StateRunning || running.Worker != wid || running.Attempts != attempt {
+			t.Fatalf("leased status %+v (attempt %d)", running, attempt)
+		}
+		// Report one sweep, then die: no more heartbeats.
+		if err := s.ExtendLease(wid, st.ID, []Event{{Type: "sweep", Policy: "conditional", Eps: 0.25, Executed: 1}}); err != nil {
+			t.Fatalf("heartbeat attempt %d: %v", attempt, err)
+		}
+		if mid, _ := s.Status(st.ID); mid.SweepsDone != 1 {
+			t.Errorf("sweep event not folded in: %+v", mid)
+		}
+
+		// Wait for the janitor to notice the dead lease.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			cur, _ := s.Status(st.ID)
+			if attempt < maxLeaseAttempts && cur.State == StateQueued {
+				if cur.SweepsDone != 0 {
+					t.Errorf("requeued job kept progress: %+v", cur)
+				}
+				requeues++
+				break
+			}
+			if attempt == maxLeaseAttempts && cur.State == StateFailed {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("attempt %d: job stuck in %s", attempt, cur.State)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+
+		// The lease really is gone: posting against it is rejected.
+		if err := s.ExtendLease(wid, st.ID, nil); err != ErrLeaseLost {
+			t.Errorf("heartbeat after expiry: %v, want ErrLeaseLost", err)
+		}
+	}
+
+	final, _ := s.Status(st.ID)
+	if final.State != StateFailed || final.Error == "" {
+		t.Fatalf("after %d dead leases: %+v, want failed with an error", maxLeaseAttempts, final)
+	}
+	if requeues != maxLeaseAttempts-1 {
+		t.Errorf("saw %d requeues, want %d", requeues, maxLeaseAttempts-1)
+	}
+	sub, ok := s.Subscribe(st.ID)
+	if !ok {
+		t.Fatal("finished job has no event history")
+	}
+	defer sub.Close()
+	var requeueEvents int
+	for _, ev := range sub.Past {
+		if ev.Type == "requeued" {
+			requeueEvents++
+			if ev.Worker != wid {
+				t.Errorf("requeued event names worker %q, want %q", ev.Worker, wid)
+			}
+		}
+	}
+	if requeueEvents != maxLeaseAttempts-1 {
+		t.Errorf("event history has %d requeued events, want %d", requeueEvents, maxLeaseAttempts-1)
+	}
+}
+
+// TestWorkerExecutesLeasedJob runs a real Worker against a runner-less
+// coordinator over HTTP: the job completes remotely with an envelope
+// byte-identical to a local run, and the learned profile lands in the
+// coordinator's store.
+func TestWorkerExecutesLeasedJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sweeps")
+	}
+	const body = `{"workload":"candmc","scale":"quick","policies":["online"],"eps":[0.125],"seed":11,"warmStart":false}`
+
+	// Reference envelope from a plain local scheduler.
+	local := New(Config{Runners: 1})
+	ref := submitWait(t, local, body)
+	refEnv := envelopeJSON(t, local, ref.ID)
+	closeNow(t, local)
+
+	s := New(Config{Runners: -1, LeaseTTL: 5 * time.Second})
+	defer closeNow(t, s)
+	ts := httptest.NewServer(NewServer(s))
+	defer ts.Close()
+
+	w, err := NewWorker(WorkerOptions{Base: ts.URL, Name: "remote-1", Poll: 20 * time.Millisecond, Client: ts.Client(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- w.Run(ctx) }()
+	defer func() {
+		cancel()
+		<-workerDone
+	}()
+
+	st, err := s.SubmitJSON([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, s, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("remote job finished %s (err %q)", final.State, final.Error)
+	}
+	if final.Worker == "" {
+		t.Error("finished status does not name the worker that ran it")
+	}
+	if got := envelopeJSON(t, s, st.ID); !bytes.Equal(got, refEnv) {
+		t.Errorf("remote envelope differs from the local run:\n%s\nvs\n%s", got, refEnv)
+	}
+	if s.Store().Get("candmc") == nil {
+		t.Error("worker's learned profile never reached the coordinator's store")
+	}
+	workers := s.Workers()
+	if len(workers) != 1 || workers[0].Name != "remote-1" {
+		t.Errorf("worker roster %+v", workers)
+	}
+}
+
+// TestWorkerDeathMidSweepJobStillCompletes is the fault-tolerance
+// acceptance test: a worker leases a job, reports progress, and dies
+// mid-run; the janitor requeues the job and a healthy worker finishes it.
+func TestWorkerDeathMidSweepJobStillCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sweeps")
+	}
+	// The TTL balances two clocks: the doomed worker's death is detected
+	// after one TTL, and the healthy worker must heartbeat well inside it
+	// while sweep execution saturates the CPU.
+	s := New(Config{Runners: -1, LeaseTTL: 2 * time.Second})
+	defer closeNow(t, s)
+	ts := httptest.NewServer(NewServer(s))
+	defer ts.Close()
+
+	st, err := s.SubmitJSON([]byte(`{"workload":"candmc","scale":"quick","policies":["online"],"eps":[0.125],"seed":11,"warmStart":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker takes the lease, reports a sweep mid-flight, then
+	// vanishes without completing.
+	doomed, _, err := s.RegisterWorker("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := s.LeaseJob(doomed)
+	if err != nil || grant == nil || grant.Job != st.ID {
+		t.Fatalf("doomed lease: %+v, %v", grant, err)
+	}
+	if err := s.ExtendLease(doomed, st.ID, []Event{{Type: "sweep", Policy: "online", Eps: 0.125, Executed: 10}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the requeue, then bring up a healthy real worker.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cur, _ := s.Status(st.ID)
+		if cur.State == StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never requeued after worker death (state %s)", cur.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	w, err := NewWorker(WorkerOptions{Base: ts.URL, Name: "healthy", Poll: 20 * time.Millisecond, Client: ts.Client(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- w.Run(ctx) }()
+	defer func() {
+		cancel()
+		<-workerDone
+	}()
+
+	final := waitDone(t, s, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job finished %s after worker death (err %q), want done", final.State, final.Error)
+	}
+	if final.Attempts != 2 {
+		t.Errorf("finished after %d attempts, want 2 (one dead, one healthy)", final.Attempts)
+	}
+	if final.SweepsDone != final.SweepsTotal {
+		t.Errorf("finished with %d/%d sweeps", final.SweepsDone, final.SweepsTotal)
+	}
+	sub, ok := s.Subscribe(st.ID)
+	if !ok {
+		t.Fatal("no event history")
+	}
+	defer sub.Close()
+	sawRequeue := false
+	for _, ev := range sub.Past {
+		if ev.Type == "requeued" && ev.Worker == doomed {
+			sawRequeue = true
+		}
+	}
+	if !sawRequeue {
+		t.Error("event history never recorded the requeue")
+	}
+	if env, ok := s.Result(st.ID); !ok || env == nil || env.Result == nil {
+		t.Error("recovered job has no result envelope")
+	}
+}

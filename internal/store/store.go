@@ -1,0 +1,418 @@
+// Package store is an embedded, crash-safe, append-only record store:
+// the durable substrate under the service layer's job history and
+// per-workload profile accumulation. It is deliberately tiny and built on
+// the standard library alone — length-prefixed JSON frames with a CRC,
+// fsync on every commit, and snapshot-based compaction — rather than an
+// external KV dependency.
+//
+// The data model is "latest record per (kind, key)": appending a record
+// replaces the previous record with the same kind and key, and appending a
+// tombstone (nil Data) deletes it. Replay order is first-append order,
+// which survives compaction, so callers that append monotonically (e.g.
+// finished jobs) get their history back in the order it was written.
+//
+// On disk a store directory holds two files:
+//
+//	snapshot.json — the compacted state, written atomically (temp file +
+//	                fsync + rename + directory fsync)
+//	wal.log       — records appended since the snapshot, each framed as
+//	                [uint32 length][uint32 CRC-32C][JSON payload]
+//
+// Opening replays the snapshot and then the log. A torn tail — a partial
+// frame or a frame whose CRC does not match, the signature of a crash
+// mid-append — is truncated away, and everything before it is kept: a
+// crash costs at most the record being written, never the store.
+//
+// The package reads no clocks and iterates no maps in order-sensitive
+// ways: record timestamps are supplied by callers, so the store itself
+// stays inside the repo's deterministic layer.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Record is one durable entry: the latest record per (Kind, Key) is the
+// live state. At is caller-supplied (the store never reads a clock). A nil
+// Data marks a tombstone: appending it deletes the (Kind, Key) entry.
+type Record struct {
+	Kind string          `json:"kind"`
+	Key  string          `json:"key"`
+	At   time.Time       `json:"at"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Options configures Open.
+type Options struct {
+	// CompactBytes triggers automatic compaction when the log grows past
+	// it. 0 means 4 MiB; negative disables automatic compaction (explicit
+	// Compact still works).
+	CompactBytes int64
+}
+
+const (
+	snapshotName = "snapshot.json"
+	walName      = "wal.log"
+
+	// frameHeaderLen is the per-record framing overhead: a uint32 payload
+	// length followed by a uint32 CRC-32C of the payload.
+	frameHeaderLen = 8
+
+	// maxRecordBytes bounds one record's payload. A corrupt length field
+	// must not provoke a multi-gigabyte allocation; real records (a job
+	// status + envelope, an encoded profile) are far below this.
+	maxRecordBytes = 64 << 20
+
+	defaultCompactBytes = 4 << 20
+
+	snapshotSchemaVersion = 1
+)
+
+// castagnoli is the CRC-32C table (the polynomial used by modern storage
+// systems; hardware-accelerated by hash/crc32).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// snapshotFile is the JSON layout of snapshot.json.
+type snapshotFile struct {
+	SchemaVersion int      `json:"schemaVersion"`
+	Records       []Record `json:"records"`
+}
+
+// Store is an open store directory. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir          string
+	compactBytes int64
+
+	mu      sync.Mutex
+	wal     *os.File
+	walSize int64
+	closed  bool
+	// recs is the live state in first-append order; deleted entries are
+	// compacted out lazily. idx maps kind+"\x00"+key to a position in recs
+	// (-1 once deleted).
+	recs []Record
+	idx  map[string]int
+}
+
+// Open opens (creating if needed) the store at dir, replaying the snapshot
+// and the write-ahead log. A torn log tail is truncated; any other
+// corruption is an error rather than silent data loss.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:          dir,
+		compactBytes: opt.CompactBytes,
+		idx:          make(map[string]int),
+	}
+	if s.compactBytes == 0 {
+		s.compactBytes = defaultCompactBytes
+	}
+
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadSnapshot reads snapshot.json when present.
+func (s *Store) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if snap.SchemaVersion != snapshotSchemaVersion {
+		return fmt.Errorf("store: snapshot schemaVersion %d, this build reads %d", snap.SchemaVersion, snapshotSchemaVersion)
+	}
+	for _, rec := range snap.Records {
+		s.apply(rec)
+	}
+	return nil
+}
+
+// replayWAL opens the log, applies every intact frame, and truncates a
+// torn tail (partial frame, CRC mismatch, or undecodable payload — all
+// signatures of a crash mid-write).
+func (s *Store) replayWAL() error {
+	path := filepath.Join(s.dir, walName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return fmt.Errorf("store: open wal: %w", err)
+	}
+	good := int64(0)
+	header := make([]byte, frameHeaderLen)
+	for {
+		if _, err := io.ReadFull(f, header); err != nil {
+			break // clean EOF or partial header: truncate at good
+		}
+		length := binary.BigEndian.Uint32(header[:4])
+		sum := binary.BigEndian.Uint32(header[4:8])
+		if length == 0 || length > maxRecordBytes {
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		s.apply(rec)
+		good += frameHeaderLen + int64(length)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return fmt.Errorf("store: truncate torn wal tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: seek wal: %w", err)
+	}
+	s.wal = f
+	s.walSize = good
+	return nil
+}
+
+// apply folds one record into the in-memory state.
+func (s *Store) apply(rec Record) {
+	k := rec.Kind + "\x00" + rec.Key
+	if rec.Data == nil { // tombstone
+		if i, ok := s.idx[k]; ok {
+			s.recs[i] = Record{} // dead slot, dropped at compaction
+			delete(s.idx, k)
+		}
+		return
+	}
+	if i, ok := s.idx[k]; ok {
+		s.recs[i] = rec // replace in place: first-append order is stable
+		return
+	}
+	s.idx[k] = len(s.recs)
+	s.recs = append(s.recs, rec)
+}
+
+// Append durably commits rec: the frame is written and fsynced before
+// Append returns. Appending over an existing (Kind, Key) replaces it.
+func (s *Store) Append(rec Record) error {
+	if rec.Kind == "" || rec.Key == "" {
+		return fmt.Errorf("store: append: empty kind or key")
+	}
+	if rec.Data == nil {
+		return fmt.Errorf("store: append: nil data (use Delete for tombstones)")
+	}
+	return s.commit(rec)
+}
+
+// Delete durably appends a tombstone for (kind, key). Deleting an absent
+// entry is a no-op that still commits (the tombstone shields against an
+// older record resurfacing from the snapshot).
+func (s *Store) Delete(kind, key string, at time.Time) error {
+	if kind == "" || key == "" {
+		return fmt.Errorf("store: delete: empty kind or key")
+	}
+	return s.commit(Record{Kind: kind, Key: key, At: at})
+}
+
+// commit frames, writes, fsyncs, and applies one record.
+func (s *Store) commit(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("store: record %s/%s is %d bytes, exceeding the %d-byte limit", rec.Kind, rec.Key, len(payload), maxRecordBytes)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderLen:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, err := s.wal.Write(frame); err != nil {
+		return fmt.Errorf("store: append wal: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: fsync wal: %w", err)
+	}
+	s.walSize += int64(len(frame))
+	s.apply(rec)
+	if s.compactBytes > 0 && s.walSize > s.compactBytes {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the live record for (kind, key).
+func (s *Store) Get(kind, key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.idx[kind+"\x00"+key]
+	if !ok {
+		return Record{}, false
+	}
+	return s.recs[i], true
+}
+
+// Records returns every live record in first-append order.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.idx))
+	for _, rec := range s.recs {
+		if rec.Kind != "" {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Len reports how many live records the store holds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// LogSize reports the write-ahead log's current size in bytes (what
+// compaction will reclaim).
+func (s *Store) LogSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walSize
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Compact writes the live state into a fresh snapshot (atomically: temp
+// file, fsync, rename, directory fsync) and truncates the log. A crash at
+// any point leaves either the old snapshot + full log or the new snapshot
+// + empty log — never a half state.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	// Drop dead slots while building the snapshot, and rebuild the
+	// in-memory state to match, so long-lived stores do not accumulate
+	// holes.
+	live := make([]Record, 0, len(s.idx))
+	for _, rec := range s.recs {
+		if rec.Kind != "" {
+			live = append(live, rec)
+		}
+	}
+	snap := snapshotFile{SchemaVersion: snapshotSchemaVersion, Records: live}
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+
+	tmp, err := os.CreateTemp(s.dir, snapshotName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("store: fsync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, snapshotName)); err != nil {
+		cleanup()
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+
+	// The log's records are now in the snapshot; truncate it.
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncate wal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seek wal: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: fsync wal: %w", err)
+	}
+	s.walSize = 0
+
+	s.recs = live
+	s.idx = make(map[string]int, len(live))
+	for i, rec := range live {
+		s.idx[rec.Kind+"\x00"+rec.Key] = i
+	}
+	return nil
+}
+
+// Close releases the store. Appended records are already durable; Close
+// does not compact.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: fsync dir: %w", err)
+	}
+	return nil
+}

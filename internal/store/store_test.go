@@ -1,0 +1,268 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// at builds a deterministic record timestamp.
+func at(i int) time.Time { return time.Unix(int64(1_700_000_000+i), 0).UTC() }
+
+// rec builds a test record.
+func rec(kind, key string, i int, body string) Record {
+	return Record{Kind: kind, Key: key, At: at(i), Data: json.RawMessage(body)}
+}
+
+func mustOpen(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// TestRoundTrip: records survive close + reopen, in first-append order,
+// with latest-per-key replacement semantics.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i, r := range []Record{
+		rec("job", "job-1", 0, `{"n":1}`),
+		rec("profile", "candmc", 1, `{"p":1}`),
+		rec("job", "job-2", 2, `{"n":2}`),
+		rec("profile", "candmc", 3, `{"p":2}`), // replaces, keeps slot order
+	} {
+		if err := s.Append(r); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	got := s2.Records()
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3: %+v", len(got), got)
+	}
+	wantOrder := []string{"job-1", "candmc", "job-2"}
+	for i, w := range wantOrder {
+		if got[i].Key != w {
+			t.Errorf("record %d key %q, want %q", i, got[i].Key, w)
+		}
+	}
+	p, ok := s2.Get("profile", "candmc")
+	if !ok || string(p.Data) != `{"p":2}` || !p.At.Equal(at(3)) {
+		t.Errorf("Get(profile, candmc) = %+v, %v; want the replacing record", p, ok)
+	}
+	if _, ok := s2.Get("job", "job-9"); ok {
+		t.Error("Get of an absent key succeeded")
+	}
+}
+
+// TestTombstone: Delete removes the entry, survives reopen, and shields
+// against the snapshot resurrecting an older record.
+func TestTombstone(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Append(rec("job", "job-1", 0, `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Force the record into the snapshot, then tombstone it in the wal.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("job", "job-1", at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after delete, want 0", s.Len())
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if _, ok := s2.Get("job", "job-1"); ok {
+		t.Error("tombstoned record resurfaced after reopen")
+	}
+	if n := len(s2.Records()); n != 0 {
+		t.Errorf("Records() has %d entries, want 0", n)
+	}
+}
+
+// TestTornTailTruncated: a crash mid-append (partial frame) loses only the
+// torn record; everything before it replays and the store accepts new
+// appends.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Append(rec("job", fmt.Sprintf("job-%d", i), i, `{"ok":true}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Simulate the crash: append half a frame's worth of garbage.
+	wal := filepath.Join(dir, walName)
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 99, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	if n := s2.Len(); n != 3 {
+		t.Fatalf("replayed %d records past a torn tail, want 3", n)
+	}
+	// The tail was physically truncated and the store keeps working.
+	if err := s2.Append(rec("job", "job-3", 3, `{"ok":true}`)); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, dir, Options{})
+	defer s3.Close()
+	if n := s3.Len(); n != 4 {
+		t.Fatalf("after recovery + append, replayed %d records, want 4", n)
+	}
+}
+
+// TestCorruptCRCDropped: a bit flip in the last frame fails its CRC; the
+// frame is dropped and the log truncated before it.
+func TestCorruptCRCDropped(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Append(rec("job", "job-1", 0, `{"keep":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("job", "job-2", 1, `{"corrupt":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	wal := filepath.Join(dir, walName)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff // flip a payload byte of the last record
+	if err := os.WriteFile(wal, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if _, ok := s2.Get("job", "job-1"); !ok {
+		t.Error("intact record lost")
+	}
+	if _, ok := s2.Get("job", "job-2"); ok {
+		t.Error("CRC-corrupt record replayed")
+	}
+}
+
+// TestCompaction: crossing the size threshold moves state into the
+// snapshot, truncates the log, preserves order, and the result reopens
+// identically.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny threshold: every append compacts almost immediately.
+	s := mustOpen(t, dir, Options{CompactBytes: 256})
+	var want []string
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		want = append(want, key)
+		if err := s.Append(rec("job", key, i, `{"payload":"xxxxxxxxxxxxxxxx"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if size := s.LogSize(); size > 256+1024 {
+		t.Errorf("log size %d never compacted", size)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	got := s2.Records()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Key != w {
+			t.Errorf("record %d key %q, want %q (order not preserved across compaction)", i, got[i].Key, w)
+		}
+	}
+}
+
+// TestFutureSnapshotRejected: an unknown snapshot schema is a loud error,
+// not silently dropped state.
+func TestFutureSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	snap := []byte(`{"schemaVersion": 99, "records": []}`)
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), snap, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a future snapshot schema")
+	}
+}
+
+// TestAppendValidation: empty kinds/keys and nil data are rejected at the
+// door.
+func TestAppendValidation(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	if err := s.Append(Record{Kind: "", Key: "k", Data: json.RawMessage(`1`)}); err == nil {
+		t.Error("empty kind accepted")
+	}
+	if err := s.Append(Record{Kind: "k", Key: "", Data: json.RawMessage(`1`)}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.Append(Record{Kind: "k", Key: "k"}); err == nil {
+		t.Error("nil data accepted by Append (tombstones go through Delete)")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("k", "k", 0, `1`)); err == nil {
+		t.Error("append after Close accepted")
+	}
+}
+
+// TestReplaceDoesNotGrowWAL state: replacing a key many times keeps Len at
+// 1 and compaction collapses the history.
+func TestReplaceAndCompactCollapse(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CompactBytes: -1})
+	for i := 0; i < 50; i++ {
+		if err := s.Append(rec("profile", "candmc", i, fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if size := s.LogSize(); size != 0 {
+		t.Errorf("log size %d after compaction, want 0", size)
+	}
+	got, ok := s.Get("profile", "candmc")
+	if !ok || !bytes.Equal(got.Data, []byte(`{"v":49}`)) {
+		t.Errorf("post-compaction Get = %+v, %v", got, ok)
+	}
+	s.Close()
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Load-generation smoke for the service core, run by CI:
+#
+#   1. build critter-serve and critter-load,
+#   2. boot a coordinator (2 runners, small queue so the 429 backpressure
+#      path is reachable) plus one joined worker process,
+#   3. drive it with 8 concurrent clients and a 50% duplicate mix — the
+#      duplicates exercise dedup/memoization, the rest genuinely execute,
+#   4. gate the resulting submit/e2e latency percentiles and throughput
+#      against the committed BENCH_service.json with cmd/benchdiff.
+#
+# The gates are deliberately generous (shared CI runners are noisy and
+# the workload saturates the machine by design); they exist to catch
+# order-of-magnitude service regressions, not percent-level drift.
+#
+# Usage: scripts/service-load.sh  (from the repository root)
+set -euo pipefail
+
+workdir=$(mktemp -d)
+server_pid=""
+worker_pid=""
+cleanup() {
+  for pid in "$worker_pid" "$server_pid"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "=== build"
+go build -o "$workdir/critter-serve" ./cmd/critter-serve
+go build -o "$workdir/critter-load" ./cmd/critter-load
+
+echo "=== boot coordinator"
+"$workdir/critter-serve" -addr 127.0.0.1:0 -runners 2 -queue 8 >"$workdir/serve.log" 2>&1 &
+server_pid=$!
+base=""
+for _ in $(seq 1 100); do
+  base=$(sed -n 's/^critter-serve: listening on \(http:\/\/.*\)$/\1/p' "$workdir/serve.log" | head -n 1)
+  [[ -n "$base" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "server died:"; cat "$workdir/serve.log"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$base" ]] || { echo "server never announced its address:"; cat "$workdir/serve.log"; exit 1; }
+echo "coordinator at $base"
+
+echo "=== join one worker"
+"$workdir/critter-serve" -mode=worker -join "$base" -name ci-worker >"$workdir/worker.log" 2>&1 &
+worker_pid=$!
+
+echo "=== drive load (8 clients, 16 jobs, 50% duplicates)"
+"$workdir/critter-load" -base "$base" -clients 8 -jobs 16 -dup 0.5 | tee "$workdir/service-bench.txt"
+
+echo "=== worker roster shows the joined worker"
+curl -fsS "$base/v1/workers" | tee "$workdir/workers.json" | grep -q '"ci-worker"'
+
+echo "=== gate against BENCH_service.json"
+go run ./cmd/benchdiff -baseline BENCH_service.json "$workdir/service-bench.txt"
+
+echo "=== shut down"
+kill -TERM "$worker_pid" 2>/dev/null || true
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  echo "server ignored SIGTERM"; exit 1
+fi
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo "service load test passed"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the critter-serve HTTP service, run by CI:
 #
-#   1. build and boot critter-serve on a kernel-chosen port,
+#   1. build and boot critter-serve (durable store on) on a kernel-chosen
+#      port,
 #   2. submit a quick-scale candmc job matching the golden-envelope
 #      parameters (seed 42, noise 0.05, eps 0.5+0.125, exhaustive,
 #      default policies, cold),
@@ -9,7 +10,11 @@
 #   4. fetch the result envelope and diff its grid byte-for-byte against
 #      the committed golden grid with cmd/envelopediff,
 #   5. check the accumulated profile endpoint serves a decodable profile,
-#   6. shut the server down gracefully (SIGTERM) and require a clean exit.
+#   6. shut the server down gracefully (SIGTERM) and require a clean exit,
+#   7. RESTART against the same store directory and require the finished
+#      job, its envelope (golden-diffed again), and the persisted profile
+#      (persistedAt set) to have survived,
+#   8. shut the restarted server down gracefully too.
 #
 # Usage: scripts/service-smoke.sh  (from the repository root)
 set -euo pipefail
@@ -24,22 +29,44 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# boot_server LOGFILE [extra args...]: start critter-serve and scrape the
+# announced base URL into $base.
+boot_server() {
+  local logfile=$1; shift
+  "$workdir/critter-serve" -addr 127.0.0.1:0 -store "$workdir/store" "$@" >"$logfile" 2>&1 &
+  server_pid=$!
+  base=""
+  for _ in $(seq 1 100); do
+    base=$(sed -n 's/^critter-serve: listening on \(http:\/\/.*\)$/\1/p' "$logfile" | head -n 1)
+    [[ -n "$base" ]] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "server died:"; cat "$logfile"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$base" ]] || { echo "server never announced its address:"; cat "$logfile"; exit 1; }
+  echo "server at $base"
+}
+
+# stop_server LOGFILE: SIGTERM the server and require a clean, logged exit.
+stop_server() {
+  local logfile=$1
+  kill -TERM "$server_pid"
+  for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$server_pid" 2>/dev/null; then
+    echo "server ignored SIGTERM"; exit 1
+  fi
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=""
+  grep -q 'shutting down' "$logfile"
+}
+
 echo "=== build"
 go build -o "$workdir/critter-serve" ./cmd/critter-serve
 
-echo "=== boot"
-"$workdir/critter-serve" -addr 127.0.0.1:0 >"$workdir/serve.log" 2>&1 &
-server_pid=$!
-
-base=""
-for _ in $(seq 1 100); do
-  base=$(sed -n 's/^critter-serve: listening on \(http:\/\/.*\)$/\1/p' "$workdir/serve.log" | head -n 1)
-  [[ -n "$base" ]] && break
-  kill -0 "$server_pid" 2>/dev/null || { echo "server died:"; cat "$workdir/serve.log"; exit 1; }
-  sleep 0.1
-done
-[[ -n "$base" ]] || { echo "server never announced its address:"; cat "$workdir/serve.log"; exit 1; }
-echo "server at $base"
+echo "=== boot (durable store at $workdir/store)"
+boot_server "$workdir/serve.log"
 
 echo "=== catalog"
 curl -fsS "$base/v1/workloads" | tee "$workdir/workloads.json" | grep -q '"candmc"'
@@ -73,18 +100,30 @@ echo "=== accumulated profile is served and non-trivial"
 curl -fsS "$base/v1/profiles/candmc" >"$workdir/profile.json"
 grep -q '"schemaVersion"' "$workdir/profile.json"
 grep -q '"kernels"' "$workdir/profile.json"
+grep -q '"persistedAt"' "$workdir/profile.json"
 
 echo "=== graceful shutdown"
-kill -TERM "$server_pid"
-for _ in $(seq 1 100); do
-  kill -0 "$server_pid" 2>/dev/null || break
-  sleep 0.1
-done
-if kill -0 "$server_pid" 2>/dev/null; then
-  echo "server ignored SIGTERM"; exit 1
-fi
-wait "$server_pid" 2>/dev/null || true
-server_pid=""
-grep -q 'shutting down' "$workdir/serve.log"
+stop_server "$workdir/serve.log"
+
+echo "=== restart against the same store"
+boot_server "$workdir/serve2.log"
+grep -q 'durable store at' "$workdir/serve2.log"
+
+echo "=== finished job survived the restart"
+curl -fsS "$base/v1/jobs/$job" | tee "$workdir/replayed.json" | grep -q '"state": *"done"'
+
+echo "=== replayed envelope still matches the golden grid byte-for-byte"
+curl -fsS "$base/v1/jobs/$job/result" >"$workdir/result2.json"
+go run ./cmd/envelopediff \
+  -golden internal/autotune/testdata/envelope_candmc_exhaustive.golden.json \
+  "$workdir/result2.json"
+
+echo "=== persisted profile survived the restart"
+curl -fsS "$base/v1/profiles/candmc" >"$workdir/profile2.json"
+grep -q '"kernels"' "$workdir/profile2.json"
+grep -q '"persistedAt"' "$workdir/profile2.json"
+
+echo "=== graceful shutdown (restarted server)"
+stop_server "$workdir/serve2.log"
 
 echo "service smoke test passed"
