@@ -38,6 +38,13 @@
 // smoke job) can scrape it. Shutdown is graceful: SIGINT/SIGTERM stops
 // accepting requests, lets in-flight jobs finish within -grace, then
 // cancels whatever is left.
+//
+// Observability: GET /v1/metrics (JSON) and GET /metrics (Prometheus
+// text) expose the scheduler's instrument set, GET /v1/jobs/{id}/trace a
+// locally executed job's span events, and -debug-addr starts a separate
+// net/http/pprof listener (both modes — profiling a worker works the same
+// way). The pprof listener is opt-in and on its own address so profiling
+// endpoints never share a port with the public API.
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -72,7 +80,17 @@ func main() {
 	join := flag.String("join", "", "coordinator base URL to join in worker mode, e.g. http://host:8080")
 	name := flag.String("name", "", "worker name shown in GET /v1/workers (worker mode)")
 	poll := flag.Duration("poll", 500*time.Millisecond, "idle lease-poll interval (worker mode)")
+	memo := flag.Int("memo", 1024, "memoized finished jobs answering identical resubmissions instantly (<0 = off)")
+	traceEvents := flag.Int("trace-events", 4096, "per-job span-trace ring size served at /v1/jobs/{id}/trace (<0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off; both modes)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		if err := startDebug(*debugAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "critter-serve: debug listener: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	switch *mode {
 	case "worker":
@@ -86,12 +104,14 @@ func main() {
 	logger := log.New(os.Stderr, "critter-serve: ", log.LstdFlags)
 	cfg := service.Config{
 		Machine:    sim.DefaultMachine(),
-		QueueSize:  *queue,
-		Runners:    *runners,
-		Workers:    *workers,
-		MaxHistory: *history,
-		LeaseTTL:   *lease,
-		Logf:       logger.Printf,
+		QueueSize:   *queue,
+		Runners:     *runners,
+		Workers:     *workers,
+		MaxHistory:  *history,
+		MaxMemo:     *memo,
+		TraceEvents: *traceEvents,
+		LeaseTTL:    *lease,
+		Logf:        logger.Printf,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{})
@@ -138,6 +158,29 @@ func main() {
 	if err := sched.Close(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "critter-serve: scheduler shutdown: %v\n", err)
 	}
+}
+
+// startDebug serves the pprof handlers on their own listener. An explicit
+// mux, not http.DefaultServeMux: importing net/http/pprof registers its
+// handlers globally, and the public API server must never inherit them.
+func startDebug(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("critter-serve: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "critter-serve: debug listener: %v\n", err)
+		}
+	}()
+	return nil
 }
 
 // runWorker joins a coordinator and serves leases until SIGINT/SIGTERM.

@@ -25,6 +25,12 @@
 // scale, noise sigma, and strategy used — and, since schema version 3,
 // summaries of the imported and per-sweep exported profiles — so result
 // files can be compared across runs.
+//
+// -trace FILE writes the run's span events (job, sweep, config, strategy
+// rounds, kernel-propagation rounds) as JSONL, dual-clocked: virtual time
+// from the simulation, wall time stamped at write. Tracing is
+// observational only — results and envelopes are byte-identical with it
+// on or off. Summarize the file with critter-trace.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 
 	"critter/internal/autotune"
 	"critter/internal/critter"
+	"critter/internal/obs"
 	"critter/internal/sim"
 	"critter/internal/workload"
 )
@@ -57,6 +64,7 @@ func main() {
 	extrapolate := flag.Bool("extrapolate", false, "enable family-model extrapolation in the selective profilers")
 	profileIn := flag.String("profile-in", "", "warm-start every sweep from this kernel profile (JSON, from -profile-out)")
 	profileOut := flag.String("profile-out", "", "write the run's merged learned kernel profile to this file")
+	traceOut := flag.String("trace", "", "write the run's span events to this file as JSONL (see critter-trace)")
 	flag.Parse()
 
 	// The -scale name resolves against the chosen workload's own declared
@@ -95,6 +103,18 @@ func main() {
 		}
 	}
 
+	var tracer *obs.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "critter-tune: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		tracer = obs.NewJSONL(f, obs.WallClock())
+		tracer.Emit(obs.Event{Kind: obs.KindJob, Phase: obs.PhaseBegin, Name: study.Name})
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -103,7 +123,7 @@ func main() {
 	}
 	machine := sim.DefaultMachine()
 	machine.NoiseSigma = *noise
-	res, runErr := autotune.Tuner{
+	tn := autotune.Tuner{
 		Study:       study,
 		EpsList:     epsList,
 		Machine:     machine,
@@ -113,7 +133,23 @@ func main() {
 		Prior:       prior,
 		Extrapolate: *extrapolate,
 		Workers:     *workers,
-	}.Run(ctx)
+	}
+	if tracer != nil {
+		tn.Tracer = tracer
+	}
+	res, runErr := tn.Run(ctx)
+	if tracer != nil {
+		ev := obs.Event{Kind: obs.KindJob, Phase: obs.PhaseEnd, Name: study.Name}
+		if runErr != nil {
+			ev.Error = runErr.Error()
+		}
+		tracer.Emit(ev)
+		if err := tracer.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "critter-tune: trace %s: %v\n", *traceOut, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "critter-tune: wrote %d trace events to %s\n", tracer.Count(), *traceOut)
+		}
+	}
 	if runErr != nil {
 		// Completed sweeps are still in the grid (failed cells are
 		// zeroed); emit them before exiting nonzero, so a -timeout run

@@ -64,10 +64,12 @@ package critter
 
 import (
 	"context"
+	"io"
 
 	"critter/internal/autotune"
 	"critter/internal/critter"
 	"critter/internal/mpi"
+	"critter/internal/obs"
 	"critter/internal/sim"
 	"critter/internal/stats"
 	"critter/internal/workload"
@@ -323,3 +325,39 @@ var (
 
 // DefaultEpsList returns the paper's tolerance sweep, eps = 2^0 .. 2^-10.
 func DefaultEpsList() []float64 { return autotune.DefaultEpsList() }
+
+// Observability (internal/obs): metrics and dual-clock run tracing.
+type (
+	// Tracer receives span events from a tuning run: set Tuner.Tracer to
+	// observe job → sweep → config → propagation-round structure. Emit must
+	// be safe for concurrent use; implementations stamp wall time themselves
+	// so the deterministic layers never read the real clock.
+	Tracer = obs.Tracer
+	// TraceEvent is one dual-clock trace record: virtual seconds from the
+	// simulation, wall nanoseconds from the tracer's injected clock.
+	TraceEvent = obs.Event
+	// MetricsRegistry is a process- or service-local metric namespace with
+	// JSON snapshots and Prometheus text exposition; pass one to the service
+	// Config.Metrics to scrape a scheduler.
+	MetricsRegistry = obs.Registry
+)
+
+// TraceSchemaVersion identifies the JSON layout of TraceEvent streams.
+const TraceSchemaVersion = obs.TraceSchemaVersion
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTraceRing returns a bounded in-memory tracer retaining the most
+// recent capacity events (default 4096 when capacity <= 0), stamping wall
+// time with the real clock.
+func NewTraceRing(capacity int) *obs.Ring { return obs.NewRing(capacity, obs.WallClock()) }
+
+// NewTraceJSONL returns a tracer that appends one JSON object per event to
+// w (a schema-version header line first), stamping wall time with the real
+// clock. Check Err after the run; cmd/critter-trace summarizes the output.
+func NewTraceJSONL(w io.Writer) *obs.JSONL { return obs.NewJSONL(w, obs.WallClock()) }
+
+// TeeTracers fans one event stream out to several tracers (e.g. a ring for
+// serving plus a JSONL file for archival); nils are skipped.
+func TeeTracers(ts ...Tracer) Tracer { return obs.Tee(ts...) }

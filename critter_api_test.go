@@ -3,9 +3,11 @@ package critter_test
 // Tests of the public facade: the API a downstream user sees.
 
 import (
+	"bytes"
 	"context"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"critter"
@@ -325,5 +327,56 @@ func TestFacadeWorkloadRegistry(t *testing.T) {
 	}
 	if _, err := critter.ParseScale("bogus-scale"); err == nil {
 		t.Error("ParseScale(bogus-scale) succeeded")
+	}
+}
+
+func TestFacadeObservability(t *testing.T) {
+	// Metrics: registry, counter, snapshot round-trip through the facade.
+	reg := critter.NewMetricsRegistry()
+	reg.Counter("facade_test_total", "facade smoke counter").Add(3)
+	var found bool
+	for _, fam := range reg.Snapshot() {
+		if fam.Name == "facade_test_total" && len(fam.Metrics) == 1 && fam.Metrics[0].Value == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("facade registry snapshot is missing the counter")
+	}
+
+	// Tracing: a traced tuner run through the facade produces sweep spans
+	// in both the ring and the JSONL stream, teed from one Tracer.
+	ring := critter.NewTraceRing(1 << 16)
+	var buf bytes.Buffer
+	jsonl := critter.NewTraceJSONL(&buf)
+	var tracer critter.Tracer = critter.TeeTracers(ring, jsonl)
+
+	machine := critter.DefaultMachine()
+	machine.NoiseSigma = 0.05
+	_, err := critter.Tuner{
+		Study:   critter.CandmcQR(critter.QuickScale()),
+		EpsList: []float64{0.5},
+		Machine: machine,
+		Seed:    7,
+		Tracer:  tracer,
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := ring.Events()
+	if len(events) == 0 || ring.Dropped() != 0 {
+		t.Fatalf("ring holds %d events, dropped %d", len(events), ring.Dropped())
+	}
+	var ev critter.TraceEvent = events[0]
+	if ev.WallNanos == 0 {
+		t.Error("facade ring tracer did not stamp wall time")
+	}
+	if jsonl.Err() != nil || jsonl.Count() != uint64(len(events)) {
+		t.Errorf("JSONL tee saw %d events (err %v), ring saw %d", jsonl.Count(), jsonl.Err(), len(events))
+	}
+	header, _, ok := strings.Cut(buf.String(), "\n")
+	if !ok || !strings.Contains(header, `"traceSchemaVersion":1`) {
+		t.Errorf("JSONL header %q does not carry schema version %d", header, critter.TraceSchemaVersion)
 	}
 }

@@ -115,6 +115,13 @@ func TestDetRand(t *testing.T) {
 	checkFixture(t, suite, "detrand", "critter/internal/service", false)
 }
 
+func TestDetRandClockInjection(t *testing.T) {
+	suite := []*Analyzer{DetRand}
+	// In internal/obs only clock.go is the sanctioned wall-clock injection
+	// point; other.go's time.Now is still flagged.
+	checkFixture(t, suite, "detrandclock", "critter/internal/obs", true)
+}
+
 func TestMapOrder(t *testing.T) {
 	suite := []*Analyzer{MapOrder}
 	checkFixture(t, suite, "maporder", "critter/internal/critter", true)

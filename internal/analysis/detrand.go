@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -35,6 +36,16 @@ var wallClock = map[string]bool{
 	"NewTimer":  true,
 }
 
+// clockInjectionFile is the one sanctioned wall-clock reference in a
+// deterministic layer: obs.WallClock returns time.Now as an injectable
+// obs.Clock, and tracers stamp wall time through it only when the
+// service layer or a binary installed one. Allowlisting the single file
+// (not the whole package) keeps any other obs file bound by the rule.
+func clockInjectionFile(pass *Pass, pos token.Pos) bool {
+	return basePath(pass.Pkg.Path()) == "critter/internal/obs" &&
+		fileBase(pass.Fset, pos) == "clock.go"
+}
+
 func runDetRand(pass *Pass) error {
 	if !deterministicLayer(pass.Pkg.Path()) {
 		return nil
@@ -46,7 +57,7 @@ func runDetRand(pass *Pass) error {
 		}
 		switch fn.Pkg().Path() {
 		case "time":
-			if wallClock[fn.Name()] {
+			if wallClock[fn.Name()] && !clockInjectionFile(pass, id.Pos()) {
 				pass.Reportf(id.Pos(),
 					"time.%s reads the wall clock in a deterministic layer; use the virtual clock (sim.Clock) — only internal/service and cmd/ may touch real time",
 					fn.Name())

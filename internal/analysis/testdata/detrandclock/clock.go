@@ -1,0 +1,12 @@
+// Fixture for the detrand clock-injection allowlist: this file is named
+// clock.go, so when the fixture is loaded as critter/internal/obs its
+// time.Now reference is the sanctioned injection point and must not be
+// flagged — while the same reference in any other file of the package
+// (other.go) still is.
+package fixture
+
+import "time"
+
+type clock func() time.Time
+
+func wallClock() clock { return time.Now }

@@ -1,0 +1,7 @@
+package fixture
+
+import "time"
+
+func elsewhere() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}

@@ -18,6 +18,7 @@ import (
 
 	"critter/internal/critter"
 	"critter/internal/mpi"
+	"critter/internal/obs"
 	"critter/internal/sim"
 )
 
@@ -98,8 +99,11 @@ type sweepJob struct {
 	prior       *critter.Profile
 	extrapolate bool
 	newEst      func() critter.Estimator
-	out         *SweepResult
-	sink        *progressSink
+	// tracer receives the sweep's span events (see Tuner.Tracer); nil
+	// disables tracing for this job at the cost of one branch.
+	tracer obs.Tracer
+	out    *SweepResult
+	sink   *progressSink
 	// emit, when non-nil, receives the finished sweep (or a zeroed one
 	// tagged with the cell's policy and eps on failure) for streaming
 	// consumers. Called exactly once per job, after the slot is final.
@@ -108,11 +112,26 @@ type sweepJob struct {
 
 // run simulates the sweep in a fresh world — wired to the worker's arena —
 // and stores rank 0's view. A done context skips the simulation entirely;
-// failure or cancellation zeroes the slot.
+// failure or cancellation zeroes the slot. With a tracer installed the
+// sweep is bracketed by begin/end span events, the end event carrying the
+// sweep's virtual totals and the process heap growth observed across the
+// span (approximate under concurrent sweeps — TotalAlloc is
+// process-global).
 func (j sweepJob) run(ctx context.Context, sc *scratch) error {
+	var allocStart uint64
+	if j.tracer != nil {
+		j.tracer.Emit(obs.Event{
+			Kind: obs.KindSweep, Phase: obs.PhaseBegin,
+			Policy: j.pol.String(), Eps: j.eps,
+		})
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		allocStart = ms.TotalAlloc
+	}
 	var err error
 	if err = ctx.Err(); err == nil {
 		w := sc.world(j.study.WorldSize, j.machine, j.seed)
+		w.SetTracer(j.tracer)
 		err = w.Run(func(c *mpi.Comm) {
 			sr := runSweep(ctx, c, j)
 			if c.Rank() == 0 {
@@ -123,6 +142,21 @@ func (j sweepJob) run(ctx context.Context, sc *scratch) error {
 	if err != nil {
 		*j.out = SweepResult{}
 		err = fmt.Errorf("autotune: %s: policy %s eps %g: %w", j.study.Name, j.pol, j.eps, err)
+	}
+	if j.tracer != nil {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		ev := obs.Event{
+			Kind: obs.KindSweep, Phase: obs.PhaseEnd,
+			Policy: j.pol.String(), Eps: j.eps,
+			Virtual: j.out.TuneWall, FullVirtual: j.out.FullWall,
+			Executed: j.out.Executed, Skipped: j.out.Skipped,
+			AllocBytes: ms.TotalAlloc - allocStart,
+		}
+		if err != nil {
+			ev.Error = err.Error()
+		}
+		j.tracer.Emit(ev)
 	}
 	j.sink.report(j.study.Name, j.pol, j.eps, err)
 	if j.emit != nil {

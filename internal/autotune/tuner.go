@@ -14,6 +14,7 @@ import (
 
 	"critter/internal/critter"
 	"critter/internal/mpi"
+	"critter/internal/obs"
 	"critter/internal/sim"
 	"critter/internal/stats"
 )
@@ -61,6 +62,15 @@ type Tuner struct {
 	// abandoned to cancellation). Invocations are serialized; the callback
 	// must not call back into the tuner.
 	Progress func(Progress)
+
+	// Tracer, when non-nil, receives span events from every sweep: sweep
+	// begin/end, strategy planning rounds, per-configuration spans, and
+	// the profiler's kernel-propagation rounds (rank 0 of each world).
+	// Events within one sweep arrive in deterministic order; events of
+	// concurrently running sweeps interleave. Tracing is observational
+	// only — results and envelopes are byte-identical with it on or off —
+	// and the nil default costs one branch per potential event.
+	Tracer obs.Tracer
 }
 
 // strategy resolves the search strategy, defaulting to Exhaustive.
@@ -111,6 +121,7 @@ func (t Tuner) build(sink *progressSink) (*Result, []sweepJob) {
 				prior:       t.Prior,
 				extrapolate: t.Extrapolate,
 				newEst:      t.NewEstimator,
+				tracer:      t.Tracer,
 				out:         &res.Sweeps[pi][ei],
 				sink:        sink,
 			})
@@ -248,19 +259,41 @@ func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
 	}
 	ref, refComm := critter.New(c, critter.Options{Policy: critter.Conditional, Eps: 0})
 	tuned, tunedComm := critter.New(c, opts)
+	// Trace from rank 0 only, mirroring the profiler's convention: one
+	// deterministic event stream per sweep, not one per rank.
+	tr := j.tracer
+	if c.Rank() != 0 {
+		tr = nil
+	}
 	sr := SweepResult{Policy: pol, Eps: eps}
 	var execErrs, compErrs []float64
 	plan := strat.Plan(study.space(), eps)
 	var prev []ConfigResult
+	roundNo := 0
 	for {
 		round, ok := plan.Next(prev)
 		if !ok || len(round.Configs) == 0 {
 			break
 		}
+		roundNo++
+		if tr != nil {
+			tr.Emit(obs.Event{
+				Kind: obs.KindStrategy, Phase: obs.PhasePoint,
+				Policy: pol.String(), Eps: eps,
+				Round: roundNo, Configs: len(round.Configs),
+			})
+		}
 		roundStart := len(sr.Configs)
 		for _, v := range round.Configs {
 			if ctx.Err() != nil {
 				panic(cancelError{ctx.Err()})
+			}
+			if tr != nil {
+				tr.Emit(obs.Event{
+					Kind: obs.KindConfig, Phase: obs.PhaseBegin,
+					Policy: pol.String(), Eps: eps,
+					Config: len(sr.Configs) + 1, Round: roundNo,
+				})
 			}
 			// Full execution directly prior to the approximated one.
 			ref.StartConfig(true)
@@ -311,6 +344,15 @@ func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
 			sr.Skipped += sel.Skipped
 			execErrs = append(execErrs, cr.ExecErr)
 			compErrs = append(compErrs, cr.CompErr)
+			if tr != nil {
+				tr.Emit(obs.Event{
+					Kind: obs.KindConfig, Phase: obs.PhaseEnd,
+					Policy: pol.String(), Eps: eps,
+					Config: len(sr.Configs), Round: roundNo,
+					Virtual: sel.Wall, FullVirtual: full.Wall,
+					Executed: sel.Executed, Skipped: sel.Skipped,
+				})
+			}
 		}
 		prev = sr.Configs[roundStart:]
 	}

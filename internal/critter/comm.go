@@ -3,6 +3,7 @@ package critter
 import (
 	"critter/internal/channel"
 	"critter/internal/mpi"
+	"critter/internal/obs"
 )
 
 // Comm is a profiled communicator: every operation runs the paper's path
@@ -75,6 +76,7 @@ func (c *Comm) collective(op string, words int, bspWords float64, run func() flo
 	local := intMsg{Exec: p.shouldExecute(key, id, ks), Path: p.snapshot()}
 	g := c.p.lane.Allreduce(c.internal, local, mergeIntMsg)
 	p.adopt(g.Path)
+	p.traceRound(op)
 	var dt float64
 	if g.Exec {
 		dt = run()
@@ -87,6 +89,20 @@ func (c *Comm) collective(op string, words int, bspWords float64, run func() flo
 	if p.opts.Policy == Eager {
 		p.aggregateEager(c)
 	}
+}
+
+// traceRound emits one kernel-propagation round event: op names the
+// intercepted operation, Virtual is the rank's clock after the round's
+// pathset adoption. p.trace is non-nil only on rank 0 of a traced world,
+// so the disabled hot path costs exactly this one branch.
+func (p *Profiler) traceRound(op string) {
+	if p.trace == nil {
+		return
+	}
+	p.trace.Emit(obs.Event{
+		Kind: obs.KindRound, Phase: obs.PhasePoint,
+		Name: op, Virtual: p.world.user.Clock(),
+	})
 }
 
 // accountComm adds one communication kernel's contribution to the pathset
@@ -181,6 +197,7 @@ func (c *Comm) Send(dest, tag int, buf []float64) {
 	c.p.lane.Send(c.internal, dest, sendIntTag(tag), intMsg{Exec: local, Path: p.snapshot()})
 	peer := c.p.lane.Recv(c.internal, dest, recvIntTag(tag))
 	p.adopt(peer.Path)
+	p.traceRound("send")
 	exec := local || peer.Exec
 	var dt float64
 	if exec {
@@ -206,6 +223,7 @@ func (c *Comm) Recv(src, tag int, buf []float64) {
 	c.p.lane.Send(c.internal, src, recvIntTag(tag), intMsg{Exec: local, Path: p.snapshot()})
 	peer := c.p.lane.Recv(c.internal, src, sendIntTag(tag))
 	p.adopt(peer.Path)
+	p.traceRound("recv")
 	exec := local || peer.Exec
 	if peer.Committed {
 		exec = peer.Exec
@@ -248,6 +266,7 @@ func (c *Comm) Sendrecv(dest, sendTag int, sendBuf []float64, src, recvTag int, 
 	peer := c.p.lane.Exchange(c.internal, dest, srIntTag(sendTag),
 		intMsg{Exec: localSend, Exec2: localRecv, Path: p.snapshot()})
 	p.adopt(peer.Path)
+	p.traceRound("sendrecv")
 	// My send pairs with the peer's receive and vice versa; both sides
 	// compute the same OR for each direction.
 	execSend := localSend || peer.Exec2
@@ -295,6 +314,7 @@ func (c *Comm) Isend(dest, tag int, buf []float64) *Request {
 	p.notePath(id)
 	exec := p.shouldExecute(key, id, ks)
 	c.p.lane.Send(c.internal, dest, sendIntTag(tag), intMsg{Exec: exec, Committed: true, Path: p.snapshot()})
+	p.traceRound("isend")
 	r := &Request{c: c, id: id, peer: dest, tag: tag, exec: exec}
 	var dt float64
 	if exec {
@@ -332,6 +352,7 @@ func (r *Request) Wait() {
 	p := r.c.p
 	m := r.c.p.lane.Recv(r.c.internal, r.peer, recvIntTag(r.tag))
 	p.adopt(m.Path)
+	p.traceRound("wait")
 	if r.user != nil {
 		r.user.Wait()
 	}

@@ -5,6 +5,7 @@ import (
 
 	"critter/internal/channel"
 	"critter/internal/mpi"
+	"critter/internal/obs"
 )
 
 // kernelStats is the per-rank execution bookkeeping of one kernel signature
@@ -119,6 +120,11 @@ type Profiler struct {
 	// extrapolatedSkips counts skips decided by family-model fits.
 	extrapolatedSkips int64
 
+	// trace receives kernel-propagation round events. It is non-nil only
+	// on rank 0 of a world with an installed tracer (see World.SetTracer),
+	// so the stream is deterministic and the disabled path is one branch.
+	trace obs.Tracer
+
 	// Per-configuration accumulators.
 	kernelTime     float64 // time spent actually executing selectable kernels
 	compKernelTime float64 // same, computation kernels only
@@ -163,6 +169,9 @@ func New(world *mpi.Comm, opts Options) (*Profiler, *Comm) {
 	tabs := mpi.GatherMsgUntimed(internal, mine)
 	p.tab = tabs[0]
 	p.lane = mpi.LaneOf[intMsg](world.World())
+	if p.rank == 0 {
+		p.trace = world.World().TracerOf()
+	}
 	cc := &Comm{
 		p:        p,
 		user:     world,

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"critter/internal/obs"
 	"critter/internal/sim"
 )
 
@@ -54,6 +55,10 @@ type World struct {
 	// messages (and, via the sweep executor's per-worker scratch, across
 	// the worlds a worker runs). See BufPool.
 	bufs *BufPool
+
+	// trace, when non-nil, receives span events from the layers running
+	// on this world (the profiler's propagation rounds). See SetTracer.
+	trace obs.Tracer
 
 	// Abort machinery: aborted flips once, abortE records the first
 	// failure, and wakers lists every condition variable a rank may block
@@ -129,6 +134,18 @@ func (w *World) SetBufPool(p *BufPool) { w.bufs = p }
 // Workloads running on the world may borrow it for their own transient
 // buffers — anything Put must no longer be referenced.
 func (w *World) BufPoolOf() *BufPool { return w.bufs }
+
+// SetTracer installs a trace sink for layers running on this world. Call
+// it before Run; nil (the default) disables tracing, and every emitter
+// nil-checks before building an event, so the disabled path costs one
+// branch. Tracing never touches the virtual clocks or RNG streams —
+// envelopes are byte-identical with tracing on or off.
+func (w *World) SetTracer(t obs.Tracer) { w.trace = t }
+
+// TracerOf returns the installed trace sink (nil when none). Emitters
+// conventionally trace from rank 0 only, keeping event streams
+// deterministic and volume bounded by the run, not the world size.
+func (w *World) TracerOf() obs.Tracer { return w.trace }
 
 // registerWakers records condition variables the abort broadcast must
 // reach.

@@ -1,0 +1,27 @@
+package obs
+
+// The single sanctioned wall-clock injection point of the deterministic
+// layers. Everything below internal/service is bound by the critterlint
+// detrand invariant: no time.Now, no timers — virtual time only. Tracing,
+// however, is a dual-clock problem: span events carry *virtual* seconds
+// (meaningful inside the simulation) and, when a wall-clocked consumer
+// asked for them, *wall* nanoseconds (meaningful for profiling real
+// overhead). Rather than exempt all of internal/obs from detrand, this
+// one file holds the only wall-clock reference; critterlint allowlists
+// exactly "internal/obs/clock.go" and keeps policing every other file in
+// the package. Deterministic code never calls a Clock — it only carries
+// the value to a tracer constructed by service/cmd code.
+
+import "time"
+
+// Clock supplies wall-clock readings to tracers that stamp events with
+// real time. A nil Clock disables wall stamps entirely, which is the
+// correct configuration for any tracer whose output feeds deterministic
+// comparisons (golden tests diff trace files with wall stamps stripped —
+// or simply built without a Clock).
+type Clock func() time.Time
+
+// WallClock returns the real wall clock. Call it only from layers that own
+// real time (internal/service, cmd/...); hand the resulting Clock to
+// NewRing or NewJSONL.
+func WallClock() Clock { return time.Now }

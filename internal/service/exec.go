@@ -11,6 +11,7 @@ import (
 
 	"critter/internal/autotune"
 	"critter/internal/critter"
+	"critter/internal/obs"
 	"critter/internal/sim"
 )
 
@@ -20,8 +21,11 @@ import (
 // returned, failed cells zeroed), invokes onSweep for every finished sweep
 // in completion order, and returns the result envelope, the merged learned
 // profile (partial grids included — a canceled run's completed sweeps are
-// still valid statistics), and the joined sweep errors.
-func executeSpec(ctx context.Context, spec *jobSpec, machine sim.Machine, workers int, prior *critter.Profile, onSweep func(sw autotune.SweepResult, err error)) (*autotune.Envelope, *critter.Profile, error) {
+// still valid statistics), and the joined sweep errors. tracer, when
+// non-nil, receives the run's span events (sweep/config/strategy/round);
+// tracing is observational only — the envelope is byte-identical either
+// way.
+func executeSpec(ctx context.Context, spec *jobSpec, machine sim.Machine, workers int, prior *critter.Profile, tracer obs.Tracer, onSweep func(sw autotune.SweepResult, err error)) (*autotune.Envelope, *critter.Profile, error) {
 	study := spec.workload.Build(spec.scale)
 	machine.NoiseSigma = spec.noise
 	tn := autotune.Tuner{
@@ -34,6 +38,7 @@ func executeSpec(ctx context.Context, spec *jobSpec, machine sim.Machine, worker
 		Prior:       prior,
 		Extrapolate: spec.extrapolate,
 		Workers:     workers,
+		Tracer:      tracer,
 	}
 
 	res := &autotune.Result{

@@ -9,6 +9,9 @@ package service
 //	DELETE /v1/jobs/{id}            cancel a job
 //	GET    /v1/jobs/{id}/events     completion-ordered progress (SSE)
 //	GET    /v1/jobs/{id}/result     a finished job's result envelope
+//	GET    /v1/jobs/{id}/trace      a locally executed job's span events
+//	GET    /v1/metrics              the metrics registry as JSON
+//	GET    /metrics                 the same, Prometheus text format
 //	GET    /v1/workloads            the registry's workload catalog
 //	GET    /v1/profiles/{workload}  the accumulated warm-start profile
 //	POST   /v1/workers              register a worker process
@@ -23,6 +26,7 @@ package service
 // retryAfterSeconds field — and 503 shutting down).
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +34,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"critter/internal/obs"
 )
 
 // maxJobBodyBytes bounds a job-submission body; a tuning request is a few
@@ -55,6 +61,9 @@ func NewServer(s *Scheduler) *Server {
 	srv.mux.HandleFunc("DELETE /v1/jobs/{id}", srv.cancel)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}/events", srv.events)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}/result", srv.result)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}/trace", srv.trace)
+	srv.mux.HandleFunc("GET /v1/metrics", srv.metricsJSON)
+	srv.mux.HandleFunc("GET /metrics", srv.metricsProm)
 	srv.mux.HandleFunc("GET /v1/workloads", srv.workloads)
 	srv.mux.HandleFunc("GET /v1/profiles/{workload}", srv.profile)
 	srv.mux.HandleFunc("POST /v1/workers", srv.registerWorker)
@@ -163,6 +172,43 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, env)
 }
 
+// trace returns a job's collected span events (see obs.Event). Jobs that
+// did not execute on a local runner — leased, replayed, born terminal, or
+// tracing disabled — return an empty event list rather than 404: the job
+// exists, it just has nothing traced.
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, dropped, ok := s.sched.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job":                id,
+		"traceSchemaVersion": obs.TraceSchemaVersion,
+		"dropped":            dropped,
+		"events":             events,
+	})
+}
+
+// metricsJSON serves the registry snapshot as JSON.
+func (s *Server) metricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"metrics": s.sched.Metrics().Snapshot()})
+}
+
+// metricsProm serves the registry in the Prometheus text exposition
+// format, rendered to a buffer first so a failure can still 500.
+func (s *Server) metricsProm(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.sched.Metrics().WritePrometheus(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	writeIgnoringError(w, buf.Bytes())
+}
+
 // events streams a job's progress as server-sent events: each event is
 // `event: <type>` + `data: <Event JSON>`, replaying the job's history
 // first, then following live until the terminal event (done, failed, or
@@ -203,6 +249,8 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 		// event from the final status (state names double as terminal
 		// event types).
 		if n := sub.Dropped(); n > 0 {
+			s.sched.met.sseLagged.Inc()
+			s.sched.met.sseDropped.Add(int64(n))
 			send(Event{Type: "lagged", Job: id, Dropped: n})
 		}
 		st, ok := s.sched.Status(id)

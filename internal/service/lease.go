@@ -187,10 +187,19 @@ func (s *Scheduler) ExtendLease(workerID, jobID string, events []Event) error {
 	if j.state != StateRunning || j.worker != workerID {
 		return ErrLeaseLost
 	}
+	workloadName := j.spec.workload.Name()
 	j.leaseDeadline = now.Add(s.cfg.LeaseTTL)
 	for _, ev := range events {
 		if ev.Type != "sweep" {
 			continue
+		}
+		// Worker-supplied counts feed monotone counters; negative values
+		// (a broken or hostile worker) must not panic the coordinator.
+		if ev.Executed > 0 {
+			s.met.kernelsExecuted.With(workloadName).Add(ev.Executed)
+		}
+		if ev.Skipped > 0 {
+			s.met.kernelsSkipped.With(workloadName).Add(ev.Skipped)
 		}
 		j.sweepsDone++
 		j.emitLocked(Event{
@@ -312,6 +321,7 @@ func (s *Scheduler) expireLeases(now time.Time) {
 				continue
 			}
 			delete(w.jobs, id)
+			s.met.leaseExpiries.Inc()
 			if j.attempts >= maxLeaseAttempts {
 				j.mu.Unlock()
 				giveUp = append(giveUp, j)
@@ -329,6 +339,7 @@ func (s *Scheduler) expireLeases(now time.Time) {
 			j.mu.Unlock()
 			s.pending = append([]*job{j}, s.pending...)
 			s.cond.Signal()
+			s.met.jobsRequeued.Inc()
 			s.logf("service: requeued %s after worker %s lease expired (attempt %d/%d)", id, wid, attempts, maxLeaseAttempts)
 		}
 		if len(w.jobs) == 0 && now.Sub(w.lastSeen) > 3*s.cfg.LeaseTTL {
@@ -339,6 +350,7 @@ func (s *Scheduler) expireLeases(now time.Time) {
 
 	for _, j := range giveUp {
 		err := fmt.Errorf("service: lease expired %d times; giving up", maxLeaseAttempts)
+		s.met.leaseGiveups.Inc()
 		s.terminate(j, StateFailed, err, nil, "failed")
 		s.logf("service: failed %s: %v", j.id, err)
 	}

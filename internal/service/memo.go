@@ -1,0 +1,118 @@
+package service
+
+// The memoized-result cache: fingerprint -> finished cold job, bounded
+// LRU. Memo entries let an identical re-submission be answered with a
+// born-terminal job sharing the stored envelope (see memoHitLocked), so
+// the cache is pure optimization — evicting an entry only means the next
+// identical submission re-executes. Bounding it matters because
+// fingerprints are user-controlled: without a cap, a client iterating
+// seeds would grow the map for the life of the process.
+//
+// All methods are called with the scheduler's mu held; the cache adds no
+// locking of its own.
+
+import "container/list"
+
+// memoEntry is one cached fingerprint: the finished job backing it and
+// how many submissions it has satisfied.
+type memoEntry struct {
+	fingerprint string
+	jobID       string
+	hits        int64
+}
+
+// memoCache is the LRU. order's front is the most recently used entry;
+// eviction pops the back.
+type memoCache struct {
+	max     int
+	entries map[string]*list.Element // fingerprint -> element (*memoEntry value)
+	byJob   map[string]string        // job ID -> fingerprint (jobs have one fingerprint)
+	order   *list.List
+}
+
+// newMemoCache builds a cache holding at most max entries; max <= 0
+// disables memoization (put becomes a no-op).
+func newMemoCache(max int) *memoCache {
+	return &memoCache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		byJob:   make(map[string]string),
+		order:   list.New(),
+	}
+}
+
+// get resolves a fingerprint to its memoized job ID, promoting the entry
+// to most-recently-used. It does not count a hit — the lookup may still
+// fall through to a real execution (see memoHitLocked); callers call hit
+// once the entry actually backed a result.
+func (c *memoCache) get(fp string) (string, bool) {
+	el, ok := c.entries[fp]
+	if !ok {
+		return "", false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*memoEntry).jobID, true
+}
+
+// hit records one satisfied submission against the entry.
+func (c *memoCache) hit(fp string) {
+	if el, ok := c.entries[fp]; ok {
+		el.Value.(*memoEntry).hits++
+	}
+}
+
+// put installs (or refreshes) a fingerprint's backing job and returns how
+// many entries were evicted to make room.
+func (c *memoCache) put(fp, jobID string) int {
+	if c.max <= 0 {
+		return 0
+	}
+	if el, ok := c.entries[fp]; ok {
+		e := el.Value.(*memoEntry)
+		delete(c.byJob, e.jobID)
+		e.jobID = jobID
+		c.byJob[jobID] = fp
+		c.order.MoveToFront(el)
+		return 0
+	}
+	e := &memoEntry{fingerprint: fp, jobID: jobID}
+	c.entries[fp] = c.order.PushFront(e)
+	c.byJob[jobID] = fp
+	evicted := 0
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		old := back.Value.(*memoEntry)
+		c.order.Remove(back)
+		delete(c.entries, old.fingerprint)
+		delete(c.byJob, old.jobID)
+		evicted++
+	}
+	return evicted
+}
+
+// removeJob drops the entry backed by a job (history eviction removes the
+// envelope the memo would need).
+func (c *memoCache) removeJob(jobID string) {
+	fp, ok := c.byJob[jobID]
+	if !ok {
+		return
+	}
+	delete(c.byJob, jobID)
+	if el, ok := c.entries[fp]; ok {
+		c.order.Remove(el)
+		delete(c.entries, fp)
+	}
+}
+
+// len reports the live entry count.
+func (c *memoCache) len() int { return c.order.Len() }
+
+// hitCounts returns (fingerprint, hits) pairs in most-recently-used
+// order — the shape the per-entry metrics callback samples.
+func (c *memoCache) hitCounts() []memoEntry {
+	out := make([]memoEntry, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, *el.Value.(*memoEntry))
+	}
+	return out
+}

@@ -174,7 +174,9 @@ func (s *Scheduler) replayJob(data []byte) error {
 	if st.State == StateDone && j.envelope != nil && st.Fingerprint != "" &&
 		jr.Request.Dedup != nil && *jr.Request.Dedup &&
 		jr.Request.WarmStart != nil && !*jr.Request.WarmStart {
-		s.memo[st.Fingerprint] = st.ID
+		if evicted := s.memo.put(st.Fingerprint, st.ID); evicted > 0 {
+			s.met.memoEvictions.Add(int64(evicted))
+		}
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 
 	"critter/internal/autotune"
 	"critter/internal/critter"
+	"critter/internal/obs"
 	"critter/internal/sim"
 	"critter/internal/store"
 	"critter/internal/workload"
@@ -157,6 +158,11 @@ type job struct {
 	leaseDeadline time.Time
 	attempts      int
 
+	// trace collects the job's span events while it executes on a local
+	// runner (GET /v1/jobs/{id}/trace). Nil for leased, replayed, and
+	// born-terminal jobs, and when Config.TraceEvents disables tracing.
+	trace *obs.Ring
+
 	// replay is the status snapshot of a job restored from the durable
 	// store, returned verbatim by statusLocked (spec is nil for these).
 	replay *JobStatus
@@ -287,6 +293,20 @@ type Config struct {
 	// Logf, when set, receives operational log lines (persistence
 	// failures, lease requeues). nil discards them.
 	Logf func(format string, args ...any)
+	// Metrics is the registry the scheduler registers its instrument set
+	// on (served by the HTTP layer at /v1/metrics and /metrics); nil means
+	// a private registry, still reachable through Scheduler.Metrics. The
+	// registry must not already hold the scheduler's metric names.
+	Metrics *obs.Registry
+	// MaxMemo bounds the memoized-result cache (fingerprint -> finished
+	// job); beyond it the least recently used entries are evicted, so
+	// fingerprint-varying clients cannot grow the cache without bound.
+	// 0 means 1024; negative disables memoization.
+	MaxMemo int
+	// TraceEvents bounds each locally executed job's in-memory trace ring
+	// (GET /v1/jobs/{id}/trace keeps the last TraceEvents span events). 0
+	// means 4096; negative disables per-job tracing.
+	TraceEvents int
 }
 
 // ErrQueueFull is returned by Submit when the bounded job queue is at
@@ -329,11 +349,14 @@ type Scheduler struct {
 	nextID      int
 	closed      bool
 	inflight    map[string]*job      // fingerprint -> executing primary (dedup on)
-	memo        map[string]string    // fingerprint -> finished cold job (dedup on, warm off)
+	memo        *memoCache           // fingerprint -> finished cold job (dedup on, warm off)
 	persisted   map[string]time.Time // workload -> last durable profile write
 	workers     map[string]*workerState
 	nextWorker  int
 	stopJanitor chan struct{}
+
+	// met is the registered instrument set (obs.go); never nil.
+	met *schedMetrics
 }
 
 // New starts a scheduler: its runner and janitor goroutines live until
@@ -367,6 +390,15 @@ func New(cfg Config) *Scheduler {
 	if cfg.SubBuffer <= 0 {
 		cfg.SubBuffer = 64
 	}
+	if cfg.MaxMemo == 0 {
+		cfg.MaxMemo = 1024
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.TraceEvents == 0 {
+		cfg.TraceEvents = 4096
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Scheduler{
 		cfg:         cfg,
@@ -377,12 +409,16 @@ func New(cfg Config) *Scheduler {
 		stop:        stop,
 		jobs:        make(map[string]*job),
 		inflight:    make(map[string]*job),
-		memo:        make(map[string]string),
+		memo:        newMemoCache(cfg.MaxMemo),
 		persisted:   make(map[string]time.Time),
 		workers:     make(map[string]*workerState),
 		stopJanitor: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.met = newSchedMetrics(s, cfg.Metrics)
+	if s.durable != nil {
+		s.durable.SetOnCompact(s.onCompact)
+	}
 	s.replayDurable()
 	for i := 0; i < cfg.Runners; i++ {
 		s.wg.Add(1)
@@ -430,6 +466,29 @@ func (s *Scheduler) nextJob() (*job, bool) {
 
 // Store returns the scheduler's shared profile store.
 func (s *Scheduler) Store() *ProfileStore { return s.store }
+
+// Metrics returns the registry carrying the scheduler's instrument set —
+// the one behind GET /v1/metrics and GET /metrics.
+func (s *Scheduler) Metrics() *obs.Registry { return s.met.reg }
+
+// Trace returns a job's collected span events (oldest first) and how many
+// older events its bounded ring overwrote. The second result is false for
+// unknown jobs; a known job without a trace (leased to a worker, replayed
+// from the durable store, born terminal, or tracing disabled) returns an
+// empty slice.
+func (s *Scheduler) Trace(id string) ([]obs.Event, uint64, bool) {
+	j, ok := s.lookup(id)
+	if !ok {
+		return nil, 0, false
+	}
+	j.mu.Lock()
+	ring := j.trace
+	j.mu.Unlock()
+	if ring == nil {
+		return []obs.Event{}, 0, true
+	}
+	return ring.Events(), ring.Dropped(), true
+}
 
 // Registry returns the registry jobs resolve workloads against.
 func (s *Scheduler) Registry() *workload.Registry { return s.reg }
@@ -503,16 +562,25 @@ func (s *Scheduler) submit(spec *jobSpec) (JobStatus, error) {
 		if p, ok := s.inflight[spec.fingerprint]; ok {
 			st, recs := s.attachFollowerLocked(p, spec, now)
 			s.mu.Unlock()
+			s.met.jobsSubmitted.Inc()
+			s.met.dedupCoalesced.Inc()
+			if st.State.terminal() {
+				s.met.jobFinished(st.State)
+			}
 			if len(recs) > 0 {
 				s.persistJobs(recs)
 			}
 			s.pruneHistory()
 			return st, nil
 		}
-		if doneID, ok := s.memo[spec.fingerprint]; ok {
+		if doneID, ok := s.memo.get(spec.fingerprint); ok {
 			if d, live := s.jobs[doneID]; live {
 				if st, recs, ok := s.memoHitLocked(d, spec, now); ok {
+					s.memo.hit(spec.fingerprint)
 					s.mu.Unlock()
+					s.met.jobsSubmitted.Inc()
+					s.met.memoHits.Inc()
+					s.met.jobFinished(st.State)
 					s.persistJobs(recs)
 					s.pruneHistory()
 					return st, nil
@@ -527,6 +595,7 @@ func (s *Scheduler) submit(spec *jobSpec) (JobStatus, error) {
 	// never consume a slot.
 	if len(s.pending) >= s.cfg.QueueSize {
 		s.mu.Unlock()
+		s.met.queueRejected.Inc()
 		return JobStatus{}, ErrQueueFull
 	}
 	j := &job{
@@ -553,6 +622,10 @@ func (s *Scheduler) submit(spec *jobSpec) (JobStatus, error) {
 	s.cond.Signal()
 	s.mu.Unlock()
 
+	s.met.jobsSubmitted.Inc()
+	if spec.dedup {
+		s.met.memoMisses.Inc()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.statusLocked(), nil
@@ -696,10 +769,8 @@ func (s *Scheduler) pruneHistory() {
 		evicted = append(evicted, id)
 		delete(s.jobs, id)
 	}
-	for fp, id := range s.memo {
-		if evict[id] {
-			delete(s.memo, fp)
-		}
+	for _, id := range evicted {
+		s.memo.removeJob(id)
 	}
 	kept := s.order[:0]
 	for _, id := range s.order {
@@ -942,6 +1013,10 @@ func (s *Scheduler) runJob(j *job) {
 	if spec.warm {
 		prior = s.store.Get(spec.workload.Name())
 	}
+	var ring *obs.Ring
+	if s.cfg.TraceEvents > 0 {
+		ring = obs.NewRing(s.cfg.TraceEvents, obs.WallClock())
+	}
 
 	j.mu.Lock()
 	if j.state != StateQueued {
@@ -954,11 +1029,28 @@ func (s *Scheduler) runJob(j *job) {
 	j.warmApplied = prior != nil
 	j.attempts++
 	j.started = time.Now()
+	j.trace = ring
 	j.emitLocked(Event{Type: "started", Job: j.id, Total: j.sweepsTotal})
 	j.mu.Unlock()
 
+	// The interface must stay untyped-nil when tracing is off: a typed-nil
+	// *Ring would slip past the executor's nil checks and panic on Emit.
+	var tracer obs.Tracer
+	if ring != nil {
+		tracer = ring
+		ring.Emit(obs.Event{Kind: obs.KindJob, Phase: obs.PhaseBegin, Name: spec.workload.Name(), Job: j.id})
+	}
+	kernExec := s.met.kernelsExecuted.With(spec.workload.Name())
+	kernSkip := s.met.kernelsSkipped.With(spec.workload.Name())
+
 	s.tunerRuns.Add(1)
-	env, merged, err := executeSpec(ctx, spec, s.cfg.Machine, s.cfg.Workers, prior, func(sw autotune.SweepResult, swErr error) {
+	env, merged, err := executeSpec(ctx, spec, s.cfg.Machine, s.cfg.Workers, prior, tracer, func(sw autotune.SweepResult, swErr error) {
+		if sw.Executed > 0 {
+			kernExec.Add(sw.Executed)
+		}
+		if sw.Skipped > 0 {
+			kernSkip.Add(sw.Skipped)
+		}
 		j.mu.Lock()
 		j.sweepsDone++
 		ev := Event{
@@ -973,6 +1065,13 @@ func (s *Scheduler) runJob(j *job) {
 		j.emitLocked(ev)
 		j.mu.Unlock()
 	})
+	if ring != nil {
+		ev := obs.Event{Kind: obs.KindJob, Phase: obs.PhaseEnd, Name: spec.workload.Name(), Job: j.id}
+		if err != nil {
+			ev.Error = err.Error()
+		}
+		ring.Emit(ev)
+	}
 
 	// What the job learned feeds the store, partial grids included: a
 	// timed-out run's completed sweeps are still valid statistics.
@@ -1019,6 +1118,7 @@ func (s *Scheduler) terminate(j *job, state State, err error, env *autotune.Enve
 	j.closeSubsLocked()
 	close(j.done)
 	worker := j.worker
+	started := j.started
 	followers := j.followers
 	j.followers = nil
 	recs := []persistedJob{{status: j.statusLocked(), envelope: env, request: j.persistRequest()}}
@@ -1027,12 +1127,14 @@ func (s *Scheduler) terminate(j *job, state State, err error, env *autotune.Enve
 	// Followers share the outcome and the envelope pointer: the envelope
 	// is immutable once terminal, so every follower's serialized result
 	// is byte-identical to the primary's.
+	transitioned := 0
 	for _, f := range followers {
 		f.mu.Lock()
 		if f.state.terminal() {
 			f.mu.Unlock()
 			continue
 		}
+		transitioned++
 		f.state = state
 		f.err = err
 		f.envelope = env
@@ -1061,13 +1163,23 @@ func (s *Scheduler) terminate(j *job, state State, err error, env *autotune.Enve
 			delete(s.inflight, j.spec.fingerprint)
 		}
 		if state == StateDone && !j.spec.warm && env != nil {
-			s.memo[j.spec.fingerprint] = j.id
+			if evicted := s.memo.put(j.spec.fingerprint, j.id); evicted > 0 {
+				s.met.memoEvictions.Add(int64(evicted))
+			}
 		}
 	}
 	for _, w := range s.workers {
 		delete(w.jobs, j.id)
 	}
 	s.mu.Unlock()
+
+	s.met.jobFinished(state)
+	for i := 0; i < transitioned; i++ {
+		s.met.jobFinished(state)
+	}
+	if !started.IsZero() {
+		s.met.jobDuration.Observe(now.Sub(started).Seconds())
+	}
 
 	s.persistJobs(recs)
 	s.pruneHistory()

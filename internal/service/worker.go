@@ -238,7 +238,7 @@ func (w *Worker) runLease(ctx context.Context, grant *LeaseGrant) {
 		}
 	}()
 
-	env, merged, runErr := executeSpec(jobCtx, spec, w.opts.Machine, w.opts.Workers, prior, func(sw autotune.SweepResult, swErr error) {
+	env, merged, runErr := executeSpec(jobCtx, spec, w.opts.Machine, w.opts.Workers, prior, nil, func(sw autotune.SweepResult, swErr error) {
 		ev := Event{
 			Type: "sweep", Job: grant.Job,
 			Policy: sw.Policy.String(), Eps: sw.Eps,

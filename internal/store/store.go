@@ -57,6 +57,26 @@ type Options struct {
 	// it. 0 means 4 MiB; negative disables automatic compaction (explicit
 	// Compact still works).
 	CompactBytes int64
+	// OnCompact, when set, receives the stats of every compaction —
+	// explicit or automatic — after the store's lock is released, so
+	// callers can log and count them. The callback must not call back
+	// into the store's mutating methods from the same goroutine chain
+	// that triggered it (read-only calls like LogSize are fine).
+	OnCompact func(CompactStats)
+}
+
+// CompactStats describes one compaction: what it dropped and reclaimed.
+type CompactStats struct {
+	// RecordsKept is the live-record count written into the snapshot;
+	// RecordsDropped counts the record versions the compaction discarded —
+	// superseded replacements and tombstoned entries, whether they sat in
+	// the log or in the previous snapshot.
+	RecordsKept    int `json:"recordsKept"`
+	RecordsDropped int `json:"recordsDropped"`
+	// BytesReclaimed is the write-ahead log size truncated away;
+	// SnapshotBytes the size of the freshly written snapshot.
+	BytesReclaimed int64 `json:"bytesReclaimed"`
+	SnapshotBytes  int64 `json:"snapshotBytes"`
 }
 
 const (
@@ -92,11 +112,17 @@ type snapshotFile struct {
 type Store struct {
 	dir          string
 	compactBytes int64
+	onCompact    func(CompactStats)
 
 	mu      sync.Mutex
 	wal     *os.File
 	walSize int64
-	closed  bool
+	// walRecs counts record versions appended to the log since the last
+	// compaction; snapRecs the versions held by the current snapshot. Their
+	// sum minus the live count is what a compaction discards.
+	walRecs  int
+	snapRecs int
+	closed   bool
 	// recs is the live state in first-append order; deleted entries are
 	// compacted out lazily. idx maps kind+"\x00"+key to a position in recs
 	// (-1 once deleted).
@@ -114,6 +140,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	s := &Store{
 		dir:          dir,
 		compactBytes: opt.CompactBytes,
+		onCompact:    opt.OnCompact,
 		idx:          make(map[string]int),
 	}
 	if s.compactBytes == 0 {
@@ -148,6 +175,7 @@ func (s *Store) loadSnapshot() error {
 	for _, rec := range snap.Records {
 		s.apply(rec)
 	}
+	s.snapRecs = len(snap.Records)
 	return nil
 }
 
@@ -183,6 +211,7 @@ func (s *Store) replayWAL() error {
 			break
 		}
 		s.apply(rec)
+		s.walRecs++
 		good += frameHeaderLen + int64(length)
 	}
 	if err := f.Truncate(good); err != nil {
@@ -253,22 +282,35 @@ func (s *Store) commit(rec Record) error {
 	copy(frame[frameHeaderLen:], payload)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return fmt.Errorf("store: closed")
 	}
 	if _, err := s.wal.Write(frame); err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("store: append wal: %w", err)
 	}
 	if err := s.wal.Sync(); err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("store: fsync wal: %w", err)
 	}
 	s.walSize += int64(len(frame))
 	s.apply(rec)
+	s.walRecs++
+	var stats CompactStats
+	compacted := false
 	if s.compactBytes > 0 && s.walSize > s.compactBytes {
-		if err := s.compactLocked(); err != nil {
+		st, err := s.compactLocked()
+		if err != nil {
+			s.mu.Unlock()
 			return err
 		}
+		stats, compacted = st, true
+	}
+	cb := s.onCompact
+	s.mu.Unlock()
+	if compacted && cb != nil {
+		cb(stats)
 	}
 	return nil
 }
@@ -315,20 +357,35 @@ func (s *Store) LogSize() int64 {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Compact writes the live state into a fresh snapshot (atomically: temp
-// file, fsync, rename, directory fsync) and truncates the log. A crash at
-// any point leaves either the old snapshot + full log or the new snapshot
-// + empty log — never a half state.
-func (s *Store) Compact() error {
+// SetOnCompact installs (or replaces) the compaction-stats callback after
+// Open; see Options.OnCompact for the callback contract.
+func (s *Store) SetOnCompact(fn func(CompactStats)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("store: closed")
-	}
-	return s.compactLocked()
+	s.onCompact = fn
 }
 
-func (s *Store) compactLocked() error {
+// Compact writes the live state into a fresh snapshot (atomically: temp
+// file, fsync, rename, directory fsync) and truncates the log, returning
+// what the compaction dropped and reclaimed. A crash at any point leaves
+// either the old snapshot + full log or the new snapshot + empty log —
+// never a half state.
+func (s *Store) Compact() (CompactStats, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return CompactStats{}, fmt.Errorf("store: closed")
+	}
+	stats, err := s.compactLocked()
+	cb := s.onCompact
+	s.mu.Unlock()
+	if err == nil && cb != nil {
+		cb(stats)
+	}
+	return stats, err
+}
+
+func (s *Store) compactLocked() (CompactStats, error) {
 	// Drop dead slots while building the snapshot, and rebuild the
 	// in-memory state to match, so long-lived stores do not accumulate
 	// holes.
@@ -338,58 +395,66 @@ func (s *Store) compactLocked() error {
 			live = append(live, rec)
 		}
 	}
+	stats := CompactStats{
+		RecordsKept:    len(live),
+		RecordsDropped: s.snapRecs + s.walRecs - len(live),
+		BytesReclaimed: s.walSize,
+	}
 	snap := snapshotFile{SchemaVersion: snapshotSchemaVersion, Records: live}
 	data, err := json.MarshalIndent(snap, "", " ")
 	if err != nil {
-		return fmt.Errorf("store: encode snapshot: %w", err)
+		return CompactStats{}, fmt.Errorf("store: encode snapshot: %w", err)
 	}
+	stats.SnapshotBytes = int64(len(data))
 
 	tmp, err := os.CreateTemp(s.dir, snapshotName+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("store: snapshot temp file: %w", err)
+		return CompactStats{}, fmt.Errorf("store: snapshot temp file: %w", err)
 	}
 	tmpName := tmp.Name()
 	cleanup := func() { os.Remove(tmpName) }
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		cleanup()
-		return fmt.Errorf("store: write snapshot: %w", err)
+		return CompactStats{}, fmt.Errorf("store: write snapshot: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		cleanup()
-		return fmt.Errorf("store: fsync snapshot: %w", err)
+		return CompactStats{}, fmt.Errorf("store: fsync snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		cleanup()
-		return fmt.Errorf("store: close snapshot: %w", err)
+		return CompactStats{}, fmt.Errorf("store: close snapshot: %w", err)
 	}
 	if err := os.Rename(tmpName, filepath.Join(s.dir, snapshotName)); err != nil {
 		cleanup()
-		return fmt.Errorf("store: publish snapshot: %w", err)
+		return CompactStats{}, fmt.Errorf("store: publish snapshot: %w", err)
 	}
 	if err := syncDir(s.dir); err != nil {
-		return err
+		return CompactStats{}, err
 	}
 
 	// The log's records are now in the snapshot; truncate it.
 	if err := s.wal.Truncate(0); err != nil {
-		return fmt.Errorf("store: truncate wal: %w", err)
+		return CompactStats{}, fmt.Errorf("store: truncate wal: %w", err)
 	}
 	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("store: seek wal: %w", err)
+		return CompactStats{}, fmt.Errorf("store: seek wal: %w", err)
 	}
 	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("store: fsync wal: %w", err)
+		return CompactStats{}, fmt.Errorf("store: fsync wal: %w", err)
 	}
 	s.walSize = 0
+	s.walRecs = 0
+	s.snapRecs = len(live)
 
 	s.recs = live
 	s.idx = make(map[string]int, len(live))
 	for i, rec := range live {
 		s.idx[rec.Kind+"\x00"+rec.Key] = i
 	}
-	return nil
+	return stats, nil
 }
 
 // Close releases the store. Appended records are already durable; Close

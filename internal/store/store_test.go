@@ -76,7 +76,7 @@ func TestTombstone(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Force the record into the snapshot, then tombstone it in the wal.
-	if err := s.Compact(); err != nil {
+	if _, err := s.Compact(); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Delete("job", "job-1", at(1)); err != nil {
@@ -206,6 +206,62 @@ func TestCompaction(t *testing.T) {
 	}
 }
 
+// TestCompactStats: explicit compaction reports what it reclaimed, and the
+// OnCompact callback observes automatic compactions triggered by commit.
+func TestCompactStats(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CompactBytes: -1})
+	for i := 0; i < 10; i++ {
+		if err := s.Append(rec("profile", "candmc", i, fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wal := s.LogSize()
+	if wal == 0 {
+		t.Fatal("wal empty before compaction; test premise broken")
+	}
+	stats, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecordsKept != 1 {
+		t.Errorf("RecordsKept = %d, want 1", stats.RecordsKept)
+	}
+	if stats.RecordsDropped != 9 {
+		t.Errorf("RecordsDropped = %d, want 9", stats.RecordsDropped)
+	}
+	if stats.BytesReclaimed != wal {
+		t.Errorf("BytesReclaimed = %d, want wal size %d", stats.BytesReclaimed, wal)
+	}
+	if stats.SnapshotBytes <= 0 {
+		t.Errorf("SnapshotBytes = %d, want > 0", stats.SnapshotBytes)
+	}
+	s.Close()
+
+	// Automatic compaction (tiny threshold) fires the callback outside the
+	// store lock; the callback may safely call read-only methods.
+	var calls []CompactStats
+	s2 := mustOpen(t, dir, Options{CompactBytes: 128})
+	s2.SetOnCompact(func(cs CompactStats) {
+		_ = s2.Len() // must not deadlock
+		calls = append(calls, cs)
+	})
+	for i := 0; i < 10; i++ {
+		if err := s2.Append(rec("profile", "candmc", i, `{"payload":"xxxxxxxxxxxxxxxx"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2.Close()
+	if len(calls) == 0 {
+		t.Fatal("OnCompact never invoked despite tiny threshold")
+	}
+	for i, cs := range calls {
+		if cs.BytesReclaimed <= 0 {
+			t.Errorf("call %d: BytesReclaimed = %d, want > 0", i, cs.BytesReclaimed)
+		}
+	}
+}
+
 // TestFutureSnapshotRejected: an unknown snapshot schema is a loud error,
 // not silently dropped state.
 func TestFutureSnapshotRejected(t *testing.T) {
@@ -254,7 +310,7 @@ func TestReplaceAndCompactCollapse(t *testing.T) {
 	if s.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", s.Len())
 	}
-	if err := s.Compact(); err != nil {
+	if _, err := s.Compact(); err != nil {
 		t.Fatal(err)
 	}
 	if size := s.LogSize(); size != 0 {

@@ -10,11 +10,16 @@
 #   4. fetch the result envelope and diff its grid byte-for-byte against
 #      the committed golden grid with cmd/envelopediff,
 #   5. check the accumulated profile endpoint serves a decodable profile,
-#   6. shut the server down gracefully (SIGTERM) and require a clean exit,
-#   7. RESTART against the same store directory and require the finished
+#   6. resubmit the identical body and require a memoized (dedupOf) answer,
+#      then assert the observability surface: the job's span trace,
+#      /v1/metrics (JSON) naming the counter families, and /metrics
+#      (Prometheus text) reporting jobs_completed_total >= 1 and
+#      memo_hits_total >= 1,
+#   7. shut the server down gracefully (SIGTERM) and require a clean exit,
+#   8. RESTART against the same store directory and require the finished
 #      job, its envelope (golden-diffed again), and the persisted profile
 #      (persistedAt set) to have survived,
-#   8. shut the restarted server down gracefully too.
+#   9. shut the restarted server down gracefully too.
 #
 # Usage: scripts/service-smoke.sh  (from the repository root)
 set -euo pipefail
@@ -101,6 +106,36 @@ curl -fsS "$base/v1/profiles/candmc" >"$workdir/profile.json"
 grep -q '"schemaVersion"' "$workdir/profile.json"
 grep -q '"kernels"' "$workdir/profile.json"
 grep -q '"persistedAt"' "$workdir/profile.json"
+
+echo "=== resubmission of the identical body is memoized"
+curl -fsS -X POST "$base/v1/jobs" -H 'Content-Type: application/json' -d '{
+  "workload": "candmc", "scale": "quick",
+  "eps": [0.5, 0.125], "seed": 42, "noiseSigma": 0.05,
+  "strategy": "exhaustive", "warmStart": false
+}' | tee "$workdir/submit2.json" | grep -q "\"dedupOf\": *\"$job\""
+echo
+
+echo "=== span trace of the finished job"
+curl -fsS "$base/v1/jobs/$job/trace" >"$workdir/trace.json"
+grep -q '"traceSchemaVersion"' "$workdir/trace.json"
+grep -q '"kind": *"sweep"' "$workdir/trace.json"
+grep -q '"kind": *"round"' "$workdir/trace.json"
+
+echo "=== metrics: JSON snapshot names the counter families"
+curl -fsS "$base/v1/metrics" >"$workdir/metrics.json"
+for fam in jobs_completed_total memo_hits_total memo_entry_hits kernels_executed_total; do
+  grep -q "\"$fam\"" "$workdir/metrics.json" || { echo "/v1/metrics is missing $fam"; exit 1; }
+done
+
+echo "=== metrics: Prometheus text reports the run"
+curl -fsS "$base/metrics" >"$workdir/metrics.prom"
+grep -q '^# TYPE jobs_completed_total counter$' "$workdir/metrics.prom"
+completed=$(awk '$1 == "jobs_completed_total" {print $2}' "$workdir/metrics.prom")
+[[ -n "$completed" && "$completed" -ge 1 ]] || { echo "jobs_completed_total = '$completed', want >= 1"; exit 1; }
+memo_hits=$(awk '$1 == "memo_hits_total" {print $2}' "$workdir/metrics.prom")
+[[ -n "$memo_hits" && "$memo_hits" -ge 1 ]] || { echo "memo_hits_total = '$memo_hits', want >= 1"; exit 1; }
+executed=$(awk -F' ' '/^kernels_executed_total{workload="candmc"}/ {print $2}' "$workdir/metrics.prom")
+[[ -n "$executed" && "$executed" -ge 1 ]] || { echo "kernels_executed_total = '$executed', want >= 1"; exit 1; }
 
 echo "=== graceful shutdown"
 stop_server "$workdir/serve.log"
