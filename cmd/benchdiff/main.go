@@ -14,7 +14,10 @@
 // With -emit-baseline, the committed baseline is re-printed in `go test
 // -bench` format (for feeding benchstat alongside a fresh run); with
 // -update, the baseline JSON's current-numbers section is rewritten from
-// the measured input.
+// the measured input — tracked benchmarks get their numbers replaced, and
+// benchmarks measured for the first time are added (gates and the frozen
+// preRefactor block are left untouched; add gates for new benchmarks by
+// hand).
 package main
 
 import (
@@ -92,15 +95,18 @@ func main() {
 	}
 
 	if *update {
+		added := 0
 		for name, m := range got {
-			if _, tracked := base.Benchmarks[name]; tracked {
-				base.Benchmarks[name] = m
+			if _, tracked := base.Benchmarks[name]; !tracked {
+				added++
 			}
+			base.Benchmarks[name] = m
 		}
 		if err := writeBaseline(*baselinePath, base); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("benchdiff: baseline %s updated\n", *baselinePath)
+		fmt.Printf("benchdiff: baseline %s updated (%d benchmarks, %d new)\n",
+			*baselinePath, len(got), added)
 		return
 	}
 

@@ -1,0 +1,13 @@
+// Fixture for the fabriclock analyzer: sched.go is sanctioned alongside
+// fabric.go and world.go — it confines the discrete-event scheduler's
+// run-queue state.
+package fixture
+
+import "sync"
+
+var schedMu sync.Mutex
+
+func lockedInSched() {
+	schedMu.Lock()
+	defer schedMu.Unlock()
+}

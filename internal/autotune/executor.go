@@ -63,17 +63,23 @@ func (ps *progressSink) report(study string, pol critter.Policy, eps float64, er
 // every world a worker creates shares one data-plane buffer pool, so
 // consecutive sweeps (and configurations within them) recycle each other's
 // message payload buffers instead of reallocating the same tile-sized
-// slices thousands of times. A scratch belongs to exactly one worker
-// goroutine at a time; the pool it hands to worlds is itself concurrency
-// safe (the world's ranks share it).
+// slices thousands of times, and one kernel memo, so consecutive sweeps of
+// the same study skip re-interning each configuration's kernel signatures
+// and recycle retired profiler arenas (see critter.KernelMemo). A scratch
+// belongs to exactly one worker goroutine at a time; the pool and memo it
+// hands to worlds are themselves concurrency safe (the world's ranks share
+// them).
 type scratch struct {
 	bufs *mpi.BufPool
+	memo *critter.KernelMemo
 }
 
-// newScratch builds one worker's arena. Each worker owns its pool
+// newScratch builds one worker's arena. Each worker owns its pool and memo
 // outright: no cross-worker contention, and the memory dies with the run
 // instead of pinning the largest study's buffers for the process lifetime.
-func newScratch() *scratch { return &scratch{bufs: mpi.NewBufPool()} }
+func newScratch() *scratch {
+	return &scratch{bufs: mpi.NewBufPool(), memo: critter.NewKernelMemo()}
+}
 
 // world creates a sweep world wired to this worker's arena.
 func (s *scratch) world(size int, machine sim.Machine, seed uint64) *mpi.World {
@@ -102,8 +108,15 @@ type sweepJob struct {
 	// tracer receives the sweep's span events (see Tuner.Tracer); nil
 	// disables tracing for this job at the cost of one branch.
 	tracer obs.Tracer
-	out    *SweepResult
-	sink   *progressSink
+	// sched selects the world scheduler (see Tuner.Scheduler); the zero
+	// value lets the world auto-select by size.
+	sched mpi.SchedulerKind
+	// memo is the worker's cross-config kernel memoization cache,
+	// installed by run from the worker's scratch arena. Nil disables
+	// memoization (results are byte-identical either way).
+	memo *critter.KernelMemo
+	out  *SweepResult
+	sink *progressSink
 	// emit, when non-nil, receives the finished sweep (or a zeroed one
 	// tagged with the cell's policy and eps on failure) for streaming
 	// consumers. Called exactly once per job, after the slot is final.
@@ -130,7 +143,9 @@ func (j sweepJob) run(ctx context.Context, sc *scratch) error {
 	}
 	var err error
 	if err = ctx.Err(); err == nil {
+		j.memo = sc.memo
 		w := sc.world(j.study.WorldSize, j.machine, j.seed)
+		w.SetScheduler(j.sched)
 		w.SetTracer(j.tracer)
 		err = w.Run(func(c *mpi.Comm) {
 			sr := runSweep(ctx, c, j)
@@ -151,6 +166,7 @@ func (j sweepJob) run(ctx context.Context, sc *scratch) error {
 			Policy: j.pol.String(), Eps: j.eps,
 			Virtual: j.out.TuneWall, FullVirtual: j.out.FullWall,
 			Executed: j.out.Executed, Skipped: j.out.Skipped,
+			Memoized:   j.out.KernelsMemoized,
 			AllocBytes: ms.TotalAlloc - allocStart,
 		}
 		if err != nil {

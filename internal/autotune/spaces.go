@@ -189,6 +189,7 @@ func SlateCholesky(s Scale) Study {
 			a := slate.NewTileMatrix(g, cfg.N/cfg.NB, cfg.N/cfg.NB, cfg.NB)
 			a.FillSymmetricPD()
 			slate.Cholesky(p, a, cfg)
+			a.Release()
 		},
 		Describe: func(v int) string {
 			cfg := cfgOf(v)
@@ -279,6 +280,7 @@ func SlateQR(s Scale) Study {
 			a := slate.NewTileMatrix(g, cfg.M/cfg.NB, cfg.N/cfg.NB, cfg.NB)
 			a.FillGeneral(3)
 			slate.QR(p, a, cfg)
+			a.Release()
 		},
 		Describe: func(v int) string {
 			cfg := cfgOf(v)

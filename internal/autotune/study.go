@@ -114,6 +114,14 @@ type SweepResult struct {
 	Executed       int64   `json:"Executed"`
 	Skipped        int64   `json:"Skipped"`
 
+	// KernelsMemoized counts the skips whose predictability decision was
+	// replayed from the worker's cross-config memoization layer
+	// (critter.KernelMemo) instead of re-derived. Excluded from JSON:
+	// memoization is observational and its hit counts depend on sweep
+	// scheduling, so envelopes stay byte-identical with or without it.
+	// Surfaced operationally as the kernels_memoized_total metric.
+	KernelsMemoized int64 `json:"-"`
+
 	// Profile is what the sweep's selective executions learned, merged
 	// across every configuration and rank: kernel models, fitted family
 	// extrapolators, and critical-path frequencies. Feed it back through

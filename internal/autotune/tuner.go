@@ -53,6 +53,14 @@ type Tuner struct {
 	// return a fresh, independent instance.
 	NewEstimator func() critter.Estimator
 
+	// Scheduler selects the world scheduler for every sweep. The zero
+	// value (mpi.SchedAuto) picks the single-goroutine discrete-event loop
+	// for small worlds and goroutine-per-rank above the threshold; either
+	// explicit kind forces that engine. Results are byte-identical under
+	// every setting — the scheduler decides execution order, never
+	// virtual-time outcomes.
+	Scheduler mpi.SchedulerKind
+
 	// Workers bounds how many sweeps are simulated concurrently. Zero (or
 	// negative) means runtime.GOMAXPROCS(0); 1 recovers the sequential
 	// path. Every worker count yields bit-identical results, because each
@@ -122,6 +130,7 @@ func (t Tuner) build(sink *progressSink) (*Result, []sweepJob) {
 				extrapolate: t.Extrapolate,
 				newEst:      t.NewEstimator,
 				tracer:      t.Tracer,
+				sched:       t.Scheduler,
 				out:         &res.Sweeps[pi][ei],
 				sink:        sink,
 			})
@@ -253,11 +262,12 @@ func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
 		Eps:         eps,
 		Extrapolate: j.extrapolate,
 		Prior:       prior,
+		Memo:        j.memo,
 	}
 	if j.newEst != nil {
 		opts.Estimator = j.newEst()
 	}
-	ref, refComm := critter.New(c, critter.Options{Policy: critter.Conditional, Eps: 0})
+	ref, refComm := critter.New(c, critter.Options{Policy: critter.Conditional, Eps: 0, Memo: j.memo})
 	tuned, tunedComm := critter.New(c, opts)
 	// Trace from rank 0 only, mirroring the profiler's convention: one
 	// deterministic event stream per sweep, not one per rank.
@@ -295,8 +305,12 @@ func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
 					Config: len(sr.Configs) + 1, Round: roundNo,
 				})
 			}
-			// Full execution directly prior to the approximated one.
-			ref.StartConfig(true)
+			// Full execution directly prior to the approximated one. The
+			// configuration's memo key lets the reference run publish its
+			// interner for the selective run (and all later sweeps of the
+			// same worker) to adopt.
+			ck := critter.ConfigKey(study.Name, v)
+			ref.StartConfigKeyed(true, ck)
 			study.Run(ref, refComm, v)
 			full := ref.Report()
 
@@ -305,7 +319,7 @@ func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
 				// Offline iteration: full execution under online
 				// propagation to obtain critical-path execution counts
 				// (and samples).
-				tuned.StartConfig(study.ResetStats)
+				tuned.StartConfigKeyed(study.ResetStats, ck)
 				tuned.SetPolicy(critter.Online)
 				tuned.SetEps(0)
 				study.Run(tuned, tunedComm, v)
@@ -314,6 +328,7 @@ func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
 				sr.TuneWall += offline.Wall
 				sr.KernelTime += offline.KernelTime
 				sr.CompKernelTime += offline.CompKernel
+				sr.KernelsMemoized += offline.Memoized
 				tuned.SetAprioriFreq(freqs)
 				tuned.SetPolicy(critter.APriori)
 				tuned.SetEps(round.Eps)
@@ -322,7 +337,7 @@ func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
 				sel = tuned.Report()
 			} else {
 				tuned.SetEps(round.Eps)
-				tuned.StartConfig(study.ResetStats)
+				tuned.StartConfigKeyed(study.ResetStats, ck)
 				study.Run(tuned, tunedComm, v)
 				sel = tuned.Report()
 			}
@@ -342,6 +357,7 @@ func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
 			sr.CompKernelTime += sel.CompKernel
 			sr.Executed += sel.Executed
 			sr.Skipped += sel.Skipped
+			sr.KernelsMemoized += sel.Memoized
 			execErrs = append(execErrs, cr.ExecErr)
 			compErrs = append(compErrs, cr.CompErr)
 			if tr != nil {
@@ -363,7 +379,11 @@ func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
 	// The archive inside the profiler spans every configuration, so
 	// studies that reset statistics between configurations still yield
 	// their full union.
-	sr.Profile = tuned.GlobalProfile()
+	sr.Profile = tuned.GlobalProfileRoot(0)
+	// The sweep is done with its profilers: donate their dense arenas and
+	// estimator slabs back to the worker's memo for the next sweep.
+	ref.Retire()
+	tuned.Retire()
 	return sr
 }
 

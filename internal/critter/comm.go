@@ -80,9 +80,9 @@ func (c *Comm) collective(op string, words int, bspWords float64, run func() flo
 	var dt float64
 	if g.Exec {
 		dt = run()
-		p.record(key, ks, 0, dt)
+		p.record(key, id, ks, 0, dt)
 	} else {
-		dt = p.est.Estimate(key)
+		dt = p.estimate(key, id)
 		p.skipped++
 	}
 	p.accountComm(id, dt, bspWords)
@@ -93,16 +93,24 @@ func (c *Comm) collective(op string, words int, bspWords float64, run func() flo
 
 // traceRound emits one kernel-propagation round event: op names the
 // intercepted operation, Virtual is the rank's clock after the round's
-// pathset adoption. p.trace is non-nil only on rank 0 of a traced world,
-// so the disabled hot path costs exactly this one branch.
+// pathset adoption, and Memoized flags rounds whose latest local skip
+// decision was replayed from the kernel memo's predictability cache
+// (consumed here so an op without its own decision, like wait, never
+// inherits one). p.trace is non-nil only on rank 0 of a traced world, so
+// the disabled hot path costs exactly this one branch.
 func (p *Profiler) traceRound(op string) {
 	if p.trace == nil {
 		return
 	}
-	p.trace.Emit(obs.Event{
+	ev := obs.Event{
 		Kind: obs.KindRound, Phase: obs.PhasePoint,
 		Name: op, Virtual: p.world.user.Clock(),
-	})
+	}
+	if p.lastMemoized {
+		ev.Memoized = 1
+		p.lastMemoized = false
+	}
+	p.trace.Emit(ev)
 }
 
 // accountComm adds one communication kernel's contribution to the pathset
@@ -178,6 +186,15 @@ func (c *Comm) p2pKey(op string, words, peer int) Key {
 // profile message can only pair with the matching receive's reply (and vice
 // versa), regardless of how the application interleaves traffic between the
 // same pair of ranks.
+//
+// The sender-to-receiver leg (sendIntTag) travels on the fused lane
+// (mpi.FusedLane): a committed executing send posts its vote and its data
+// as ONE timed message, while vote-only cases post an untimed aux-only
+// message. The receiver-to-sender leg (recvIntTag) and the symmetric
+// exchange (srIntTag) stay on the plain intMsg lane. Fusing is
+// observationally invisible — the fused message's cost model is exactly
+// Isend's and untimed messages never touch clocks or RNG streams — and
+// saves one fabric message per committed point-to-point pair.
 func sendIntTag(tag int) int { return 3 * tag }
 func recvIntTag(tag int) int { return 3*tag + 1 }
 func srIntTag(tag int) int   { return 3*tag + 2 }
@@ -194,7 +211,7 @@ func (c *Comm) Send(dest, tag int, buf []float64) {
 	ks := p.stats(id)
 	p.notePath(id)
 	local := p.shouldExecute(key, id, ks)
-	c.p.lane.Send(c.internal, dest, sendIntTag(tag), intMsg{Exec: local, Path: p.snapshot()})
+	p.flane.Send(c.internal, dest, sendIntTag(tag), intMsg{Exec: local, Path: p.snapshot()})
 	peer := c.p.lane.Recv(c.internal, dest, recvIntTag(tag))
 	p.adopt(peer.Path)
 	p.traceRound("send")
@@ -202,9 +219,9 @@ func (c *Comm) Send(dest, tag int, buf []float64) {
 	var dt float64
 	if exec {
 		dt = c.user.Send(dest, tag, buf)
-		p.record(key, ks, 0, dt)
+		p.record(key, id, ks, 0, dt)
 	} else {
-		dt = p.est.Estimate(key)
+		dt = p.estimate(key, id)
 		p.skipped++
 	}
 	p.accountComm(id, dt, float64(len(buf)))
@@ -221,7 +238,7 @@ func (c *Comm) Recv(src, tag int, buf []float64) {
 	p.notePath(id)
 	local := p.shouldExecute(key, id, ks)
 	c.p.lane.Send(c.internal, src, recvIntTag(tag), intMsg{Exec: local, Path: p.snapshot()})
-	peer := c.p.lane.Recv(c.internal, src, sendIntTag(tag))
+	peer, fdt, hasData := p.flane.Recv(c.internal, src, sendIntTag(tag), buf)
 	p.adopt(peer.Path)
 	p.traceRound("recv")
 	exec := local || peer.Exec
@@ -230,10 +247,17 @@ func (c *Comm) Recv(src, tag int, buf []float64) {
 	}
 	var dt float64
 	if exec {
-		dt = c.user.Recv(src, tag, buf)
-		p.record(key, ks, 0, dt)
+		if hasData {
+			// A committed executing Isend fused its data into the vote
+			// message; the payload is already in buf and fdt is the sampled
+			// arrival duration Comm.Recv would have returned.
+			dt = fdt
+		} else {
+			dt = c.user.Recv(src, tag, buf)
+		}
+		p.record(key, id, ks, 0, dt)
 	} else {
-		dt = p.est.Estimate(key)
+		dt = p.estimate(key, id)
 		p.skipped++
 	}
 	p.accountComm(id, dt, float64(len(buf)))
@@ -274,17 +298,17 @@ func (c *Comm) Sendrecv(dest, sendTag int, sendBuf []float64, src, recvTag int, 
 	var dt float64
 	if execSend {
 		dt = c.user.Send(dest, sendTag, sendBuf)
-		p.record(sendKey, sks, 0, dt)
+		p.record(sendKey, sendID, sks, 0, dt)
 	} else {
-		dt = p.est.Estimate(sendKey)
+		dt = p.estimate(sendKey, sendID)
 		p.skipped++
 	}
 	p.accountComm(sendID, dt, float64(len(sendBuf)))
 	if execRecv {
 		dt = c.user.Recv(src, recvTag, recvBuf)
-		p.record(recvKey, rks, 0, dt)
+		p.record(recvKey, recvID, rks, 0, dt)
 	} else {
-		dt = p.est.Estimate(recvKey)
+		dt = p.estimate(recvKey, recvID)
 		p.skipped++
 	}
 	p.accountComm(recvID, dt, float64(len(recvBuf)))
@@ -297,7 +321,6 @@ type Request struct {
 	peer     int
 	tag      int
 	exec     bool
-	user     *mpi.Request
 	irecvBuf []float64 // non-nil for Irecv: resolved lazily at Wait
 	done     bool
 }
@@ -305,7 +328,8 @@ type Request struct {
 // Isend profiles a nonblocking send. The execution decision is made
 // unilaterally from the sender's model (a committed decision the receiver
 // follows), and the receiver's pathset reply is consumed at Wait, mirroring
-// Figure 2's nonblocking protocol.
+// Figure 2's nonblocking protocol. An executing send fuses its vote and
+// data into one timed message; a skipped send posts the vote untimed.
 func (c *Comm) Isend(dest, tag int, buf []float64) *Request {
 	p := c.p
 	key := c.p2pKey("isend", len(buf), dest)
@@ -313,17 +337,20 @@ func (c *Comm) Isend(dest, tag int, buf []float64) *Request {
 	ks := p.stats(id)
 	p.notePath(id)
 	exec := p.shouldExecute(key, id, ks)
-	c.p.lane.Send(c.internal, dest, sendIntTag(tag), intMsg{Exec: exec, Committed: true, Path: p.snapshot()})
+	aux := intMsg{Exec: exec, Committed: true, Path: p.snapshot()}
 	p.traceRound("isend")
 	r := &Request{c: c, id: id, peer: dest, tag: tag, exec: exec}
 	var dt float64
 	if exec {
+		// Vote and data fuse into one timed message with Isend's exact
+		// cost model (the caller may reuse buf immediately).
 		t0 := c.user.Clock()
-		r.user = c.user.Isend(dest, tag, buf)
+		p.flane.Isend(c.internal, dest, sendIntTag(tag), aux, buf)
 		dt = c.user.Clock() - t0
-		p.record(key, ks, 0, dt)
+		p.record(key, id, ks, 0, dt)
 	} else {
-		dt = p.est.Estimate(key)
+		p.flane.Send(c.internal, dest, sendIntTag(tag), aux)
+		dt = p.estimate(key, id)
 		p.skipped++
 	}
 	p.accountComm(id, dt, float64(len(buf)))
@@ -353,9 +380,6 @@ func (r *Request) Wait() {
 	m := r.c.p.lane.Recv(r.c.internal, r.peer, recvIntTag(r.tag))
 	p.adopt(m.Path)
 	p.traceRound("wait")
-	if r.user != nil {
-		r.user.Wait()
-	}
 }
 
 // Waitall completes profiled requests in order.

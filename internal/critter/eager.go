@@ -30,7 +30,7 @@ func (p *Profiler) aggregateEager(c *Comm) {
 		if !ks.seen || ks.propagated {
 			continue
 		}
-		key := p.keys[id]
+		key := p.keyAt(uint32(id))
 		w, has := wc.ExportWelford(key)
 		if !has || w.Count() < 2 {
 			continue
@@ -51,8 +51,16 @@ func (p *Profiler) aggregateEager(c *Comm) {
 		return
 	}
 	for key, w := range merged {
-		ks := p.stats(p.intern(key))
+		id := p.intern(key)
+		ks := p.stats(id)
 		wc.ImportWelford(key, w)
+		// The pooled model replaced the live one; cached predictability
+		// bounds and the dense id→accumulator association no longer
+		// describe it.
+		p.pred[id] = predCache{}
+		if p.fast != nil {
+			p.fast.invalidateID(id)
+		}
 		if cov, ok := channel.Combine(ks.coverage, ch); ok {
 			ks.coverage = cov
 		}

@@ -127,11 +127,152 @@ type ciMean struct {
 	// valid until Reset drops them.
 	slabs    [][]stats.Welford
 	slabUsed int // accumulators handed out from the current layout
+
+	// byID is the dense id-indexed view of cur behind the idEstimator fast
+	// path: byID[id] caches the live accumulator of the signature the
+	// profiler interned as id, so the steady-state observe/estimate/
+	// predictable path skips the Key hash entirely. Ids are only stable
+	// within a configuration, so Reset — called exactly when the profiler
+	// re-keys its id space — drops the whole view (the pointers would
+	// otherwise dangle into recycled slab slots).
+	byID []*stats.Welford
+}
+
+// idEstimator is the internal estimator fast path keyed by the profiler's
+// dense kernel ids: every method is bit-identical to its Key-keyed
+// counterpart on Estimator, minus the hash. The profiler consults it only
+// when the estimator opts in (the built-in ciMean does); the Key is always
+// passed alongside so cold ids can fall back to the canonical path.
+type idEstimator interface {
+	observeID(id uint32, key Key, flops, dt, eps float64)
+	estimateID(id uint32, key Key) float64
+	predictableID(id uint32, key Key, eps float64, freq int64) bool
+	// invalidateID severs a cached id→accumulator association after the
+	// key's live model was replaced out-of-band (eager pooling).
+	invalidateID(id uint32)
+}
+
+// wByID returns the dense-cached live accumulator for id, or nil when the
+// id is cold (never observed this configuration).
+func (e *ciMean) wByID(id uint32) *stats.Welford {
+	if int(id) < len(e.byID) {
+		return e.byID[id]
+	}
+	return nil
+}
+
+// cacheID associates id with live accumulator w.
+func (e *ciMean) cacheID(id uint32, w *stats.Welford) {
+	if n := int(id) + 1; n > len(e.byID) {
+		if n <= cap(e.byID) {
+			e.byID = e.byID[:n]
+		} else {
+			c := cap(e.byID) * 2
+			if c < n {
+				c = n
+			}
+			if c < 64 {
+				c = 64
+			}
+			grown := make([]*stats.Welford, n, c)
+			copy(grown, e.byID)
+			e.byID = grown
+		}
+	}
+	e.byID[id] = w
+}
+
+// observeID implements idEstimator: Observe minus the Key hash on the
+// steady-state path.
+func (e *ciMean) observeID(id uint32, key Key, flops, dt, eps float64) {
+	w := e.wByID(id)
+	if w == nil {
+		w = e.curOf(key)
+		if w == nil {
+			w = e.newWelford()
+			e.cur[key] = w
+			e.lastKey, e.lastW, e.lastValid = key, w, true
+		}
+		e.cacheID(id, w)
+	}
+	w.Add(dt)
+	if !e.extrapolate || key.Kind != KindComp || flops <= 0 {
+		return
+	}
+	m := e.model(key)
+	if m.Count() < 2 || !m.Predictable(eps, 1) {
+		return
+	}
+	fm, ok := e.families[key.Name]
+	if !ok {
+		fm = newFamilyModel()
+		e.families[key.Name] = fm
+	}
+	fm.add(flops, m.Mean())
+}
+
+// estimateID implements idEstimator. With a prior layer loaded the query
+// must merge it, so it falls back to the canonical path.
+func (e *ciMean) estimateID(id uint32, key Key) float64 {
+	if e.prior == nil {
+		if w := e.wByID(id); w != nil {
+			return w.Mean()
+		}
+	}
+	return e.Estimate(key)
+}
+
+// predictableID implements idEstimator; same prior-layer fallback as
+// estimateID.
+func (e *ciMean) predictableID(id uint32, key Key, eps float64, freq int64) bool {
+	if e.prior == nil {
+		if w := e.wByID(id); w != nil {
+			return w.Predictable(eps, freq)
+		}
+	}
+	return e.Predictable(key, eps, freq)
+}
+
+// invalidateID implements idEstimator.
+func (e *ciMean) invalidateID(id uint32) {
+	if int(id) < len(e.byID) {
+		e.byID[id] = nil
+	}
 }
 
 // slabChunk is the accumulator chunk size (amortizes chunk headers without
 // holding large dead spans alive).
 const slabChunk = 128
+
+// slabRecycler is the internal estimator interface behind KernelMemo's
+// arena recycling: a retiring profiler extracts its estimator's accumulator
+// slabs (releaseSlabs) and the next profiler's estimator adopts them
+// (adoptSlabs). Slab contents need not be zeroed — newWelford zeroes each
+// accumulator on handout — so donation and adoption are both O(chunks).
+type slabRecycler interface {
+	adoptSlabs([][]stats.Welford)
+	releaseSlabs() [][]stats.Welford
+}
+
+// adoptSlabs implements slabRecycler. Only a freshly constructed estimator
+// may adopt (live map entries point into the current slabs).
+func (e *ciMean) adoptSlabs(s [][]stats.Welford) {
+	if len(e.slabs) == 0 && e.slabUsed == 0 {
+		e.slabs = s
+	}
+}
+
+// releaseSlabs implements slabRecycler: hands the slabs off and severs them
+// from the (now retired) estimator.
+func (e *ciMean) releaseSlabs() [][]stats.Welford {
+	s := e.slabs
+	e.slabs = nil
+	e.slabUsed = 0
+	e.cur = nil
+	e.byID = nil
+	e.lastValid = false
+	return s
+}
 
 // newWelford hands out a zeroed accumulator from the slab.
 func (e *ciMean) newWelford() *stats.Welford {
@@ -261,6 +402,8 @@ func (e *ciMean) Reset() {
 	e.pooled = nil
 	e.lastValid = false
 	e.slabUsed = 0 // all map-held slab pointers were just dropped
+	clear(e.byID)
+	e.byID = e.byID[:0] // ids are about to be re-keyed; drop the dense view
 	if e.priorProfile != nil {
 		e.seedFamilies(e.priorProfile)
 	}

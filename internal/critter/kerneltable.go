@@ -60,3 +60,20 @@ func (t *KernelTable) Len() int {
 	defer t.mu.RUnlock()
 	return len(t.keys)
 }
+
+// snapshot copies the table's current contents: a Key→id map and the
+// id-indexed key slice. The copies are immutable by construction — later
+// Interns grow the table, never the snapshot — so readers may use them
+// without locking. KernelMemo publishes these as the shared read-only
+// intern caches of a memoized configuration.
+func (t *KernelTable) snapshot() (map[Key]uint32, []Key) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make(map[Key]uint32, len(t.ids))
+	for k, id := range t.ids {
+		ids[k] = id
+	}
+	keys := make([]Key, len(t.keys))
+	copy(keys, t.keys)
+	return ids, keys
+}

@@ -31,7 +31,7 @@ func (p *Profiler) LocalProfile() []KernelProfile {
 		if freq == 0 {
 			continue
 		}
-		key := p.keys[id]
+		key := p.keyAt(uint32(id))
 		kp := KernelProfile{
 			Key:       key,
 			PathTime:  p.pathKernelTime[id],

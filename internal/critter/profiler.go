@@ -6,6 +6,7 @@ import (
 	"critter/internal/channel"
 	"critter/internal/mpi"
 	"critter/internal/obs"
+	"critter/internal/stats"
 )
 
 // kernelStats is the per-rank execution bookkeeping of one kernel signature
@@ -57,6 +58,14 @@ type Options struct {
 	// the estimator does not implement ProfileCarrier. The prior survives
 	// StartConfig resets: every configuration starts from it.
 	Prior *Profile
+	// Memo, when non-nil, attaches the sweep-scoped cross-config
+	// memoization cache (see KernelMemo): configurations started through
+	// StartConfigKeyed adopt tables published by earlier profilers of the
+	// same configuration, and Retire recycles this profiler's dense arenas
+	// into the cache. Every rank of a world must receive the same memo.
+	// Purely an optimization — all results are byte-identical with or
+	// without one.
+	Memo *KernelMemo
 }
 
 // Profiler is one rank's profiling state. Create one per rank with New,
@@ -81,6 +90,14 @@ type Profiler struct {
 	tab  *KernelTable
 	idOf map[Key]uint32
 	keys []Key
+	// roIDs/roKeys are the memo-published read-only intern snapshots of
+	// the current configuration (nil outside a memo hit): a key present in
+	// roIDs resolves without touching idOf or the table's lock, and ids
+	// below len(roKeys) resolve back to keys through roKeys (keyAt). Novel
+	// keys — possible only on a memo-key collision — overlay through
+	// idOf/keys as usual.
+	roIDs  map[Key]uint32
+	roKeys []Key
 	// lastKey/lastID short-circuit intern for back-to-back invocations of
 	// the same kernel signature (the common case inside factorization
 	// loops), skipping the idOf hash.
@@ -96,6 +113,9 @@ type Profiler struct {
 	// localFreq counts kernel appearances on this rank during the current
 	// configuration (the Local policy's frequency credit), densely by id.
 	localFreq []int64
+	// pred caches propagation-point predictability outcomes per kernel id
+	// (see predCache); grown in lockstep with k by ensure.
+	pred []predCache
 
 	// aggregates is the registry of aggregate channels (Figure 2, lines
 	// 16-25), keyed by hash, seeded with the world channel.
@@ -108,11 +128,18 @@ type Profiler struct {
 
 	// lane is the pre-resolved typed-message lane the piggyback protocol
 	// runs on (one fabric lookup at construction instead of per message).
-	lane mpi.Lane[intMsg]
+	// flane carries the sender-to-receiver leg of the point-to-point
+	// protocol as fused messages: a committed send's vote travels with its
+	// data as one timed message (comm.go).
+	lane  mpi.Lane[intMsg]
+	flane mpi.FusedLane[intMsg]
 
 	// est is the rank's prediction model (estimator.go): kernel duration
-	// estimates, predictability decisions, and extrapolation.
-	est Estimator
+	// estimates, predictability decisions, and extrapolation. fast is its
+	// dense id-indexed view when the estimator offers one (the built-in
+	// ciMean does); nil otherwise.
+	est  Estimator
+	fast idEstimator
 	// archive accumulates profile exports across StartConfig resets, so
 	// ExportProfile covers everything the run learned, not just the
 	// current configuration.
@@ -125,6 +152,15 @@ type Profiler struct {
 	// so the stream is deterministic and the disabled path is one branch.
 	trace obs.Tracer
 
+	// memo is the attached cross-config cache (Options.Memo; nil disables
+	// memoization). memoKey/memoKeyed identify the configuration started
+	// by StartConfigKeyed; memoFresh marks rank 0 as owing the memo a
+	// publication of the configuration's table at the next Report.
+	memo      *KernelMemo
+	memoKey   uint64
+	memoKeyed bool
+	memoFresh bool
+
 	// Per-configuration accumulators.
 	kernelTime     float64 // time spent actually executing selectable kernels
 	compKernelTime float64 // same, computation kernels only
@@ -133,6 +169,27 @@ type Profiler struct {
 	volFlops       float64 // local BSP computation (flops)
 	executed       int64
 	skipped        int64
+	memoizedSkips  int64 // skips whose predictability decision was cache-served
+	// lastMemoized marks whether the most recent shouldExecute call
+	// resolved to a memo-served skip; traceRound consumes and clears it so
+	// round events can distinguish memoized skips. Trace-only state: it
+	// never feeds clocks, decisions, or reports.
+	lastMemoized bool
+}
+
+// predCache memoizes one kernel id's propagation-point predictability
+// outcomes. Estimator.Predictable is pure in (model state, eps, freq) and
+// monotone nondecreasing in freq — a larger execution-count credit only
+// shrinks the scaled confidence interval — so a single observation in each
+// direction bounds the whole frequency axis: predictable at trueAt implies
+// predictable at every freq >= trueAt, unpredictable at falseAt implies
+// unpredictable at every freq <= falseAt. Zero means "no bound yet" (the
+// frequency credit is always >= 1). Entries are invalidated per id when the
+// model changes (record) and wholesale when eps or the whole model set
+// changes (SetEps, StartConfig's statistics reset).
+type predCache struct {
+	trueAt  int64 // minimal freq observed predictable (0: none)
+	falseAt int64 // maximal freq observed unpredictable (0: none)
 }
 
 // New creates the rank's profiler and wraps its world communicator. It is
@@ -143,12 +200,39 @@ func New(world *mpi.Comm, opts Options) (*Profiler, *Comm) {
 		opts:       opts,
 		rank:       world.Rank(),
 		psize:      world.Size(),
-		idOf:       make(map[Key]uint32),
+		memo:       opts.Memo,
 		aggregates: make(map[uint64]channel.Channel),
+	}
+	// Adopt a retired profiler's arena before allocating anything it could
+	// supply: the dense per-id tables, the private intern cache, and — once
+	// the estimator exists — its accumulator slabs.
+	var slabs [][]stats.Welford
+	if p.memo != nil {
+		if a := p.memo.acquireArena(); a != nil {
+			p.idOf = a.idOf
+			p.keys = a.keys
+			p.k = a.k
+			p.localFreq = a.localFreq
+			p.pathKernelTime = a.pathKernelTime
+			p.pred = a.pred
+			p.path.Kernels = kernelCounts{vals: a.counts}
+			slabs = a.slabs
+		}
+	}
+	if p.idOf == nil {
+		p.idOf = make(map[Key]uint32)
 	}
 	p.est = opts.Estimator
 	if p.est == nil {
 		p.est = NewCIMeanEstimator(opts.Extrapolate)
+	}
+	if slabs != nil {
+		if r, ok := p.est.(slabRecycler); ok {
+			r.adoptSlabs(slabs)
+		}
+	}
+	if f, ok := p.est.(idEstimator); ok {
+		p.fast = f
 	}
 	if opts.Prior != nil {
 		if pc, ok := p.est.(ProfileCarrier); ok {
@@ -169,6 +253,7 @@ func New(world *mpi.Comm, opts Options) (*Profiler, *Comm) {
 	tabs := mpi.GatherMsgUntimed(internal, mine)
 	p.tab = tabs[0]
 	p.lane = mpi.LaneOf[intMsg](world.World())
+	p.flane = mpi.FusedLaneOf[intMsg](world.World())
 	if p.rank == 0 {
 		p.trace = world.World().TracerOf()
 	}
@@ -198,11 +283,17 @@ func (p *Profiler) World() *Comm { return p.world }
 // Table returns the world-shared kernel-signature interner.
 func (p *Profiler) Table() *KernelTable { return p.tab }
 
-// intern resolves key's dense id through the rank-local cache, hitting the
-// shared table only on first sight.
+// intern resolves key's dense id through the rank-local caches, hitting the
+// shared table only on first sight. Under a memo hit the published read-only
+// snapshot answers first — no private-cache insert, no table lock — and only
+// keys the snapshot has never seen fall through to the overlay path.
 func (p *Profiler) intern(key Key) uint32 {
 	if p.lastValid && key == p.lastKey {
 		return p.lastID
+	}
+	if id, ok := p.roIDs[key]; ok {
+		p.lastKey, p.lastID, p.lastValid = key, id, true
+		return id
 	}
 	if id, ok := p.idOf[key]; ok {
 		p.lastKey, p.lastID, p.lastValid = key, id, true
@@ -222,6 +313,18 @@ func (p *Profiler) intern(key Key) uint32 {
 	p.keys[id] = key
 	p.lastKey, p.lastID, p.lastValid = key, id, true
 	return id
+}
+
+// keyAt resolves an id this rank has interned back to its signature: through
+// the memo snapshot when the id predates it, through the private keys cache
+// otherwise. (The table's ids below len(roKeys) were assigned before the
+// snapshot was taken, so roKeys covers exactly the ids the private cache
+// does not.)
+func (p *Profiler) keyAt(id uint32) Key {
+	if int(id) < len(p.roKeys) {
+		return p.roKeys[id]
+	}
+	return p.keys[id]
 }
 
 // growCap sizes a dense per-id table that must hold n entries: double the
@@ -245,10 +348,12 @@ func (p *Profiler) ensure(id uint32) {
 	}
 	if n <= cap(p.k) {
 		// Backing arrays are allocated zeroed and cleared in place on
-		// reset, so extending within capacity exposes zero slots.
+		// reset (and zeroed before arena donation), so extending within
+		// capacity exposes zero slots.
 		p.k = p.k[:n]
 		p.localFreq = p.localFreq[:n]
 		p.pathKernelTime = p.pathKernelTime[:n]
+		p.pred = p.pred[:n]
 		return
 	}
 	c := growCap(n, cap(p.k))
@@ -261,6 +366,9 @@ func (p *Profiler) ensure(id uint32) {
 	pkt := make([]float64, n, c)
 	copy(pkt, p.pathKernelTime)
 	p.pathKernelTime = pkt
+	pc := make([]predCache, n, c)
+	copy(pc, p.pred)
+	p.pred = pc
 }
 
 // stats returns the bookkeeping slot for kernel id, marking it profiled.
@@ -286,6 +394,15 @@ func (p *Profiler) Mean(key Key) float64 { return p.est.Estimate(key) }
 
 // Samples returns the number of duration samples backing key's model.
 func (p *Profiler) Samples(key Key) int64 { return p.est.Samples(key) }
+
+// estimate returns the modeled duration charged for a skipped kernel,
+// through the estimator's id-indexed fast path when it offers one.
+func (p *Profiler) estimate(key Key, id uint32) float64 {
+	if p.fast != nil {
+		return p.fast.estimateID(id, key)
+	}
+	return p.est.Estimate(key)
+}
 
 // pathFreqMap rekeys a dense frequency table by Key for the map-facing
 // boundaries. Ids may have been interned by any rank, so the shared table
@@ -333,8 +450,10 @@ func (p *Profiler) freqFor(key Key, id uint32) int64 {
 // policy the decision is the global propagation flag; for all other
 // policies the kernel must have executed at least once this configuration
 // and is skipped only when predictable at tolerance Eps under the policy's
-// frequency credit.
+// frequency credit. Decisions replayed from the predictability cache that
+// result in a skip are counted as memoized (Report.Memoized).
 func (p *Profiler) shouldExecute(key Key, id uint32, ks *kernelStats) bool {
+	p.lastMemoized = false
 	if p.opts.Eps <= 0 {
 		return true
 	}
@@ -344,13 +463,52 @@ func (p *Profiler) shouldExecute(key Key, id uint32, ks *kernelStats) bool {
 	if ks.perConfig < 1 {
 		return true
 	}
-	return !p.est.Predictable(key, p.opts.Eps, p.freqFor(key, id))
+	pred, hit := p.predictable(key, id, p.freqFor(key, id))
+	if pred && hit {
+		p.memoizedSkips++
+		p.lastMemoized = true
+	}
+	return !pred
+}
+
+// predictable answers the propagation-point CI tolerance test through the
+// per-id decision cache, reporting whether the answer was replayed. The
+// steady-state skip path — a converged signature re-encountered with an
+// ever-growing frequency credit — reduces to two integer compares.
+func (p *Profiler) predictable(key Key, id uint32, freq int64) (pred, hit bool) {
+	c := &p.pred[id]
+	if c.trueAt != 0 && freq >= c.trueAt {
+		return true, true
+	}
+	if c.falseAt != 0 && freq <= c.falseAt {
+		return false, true
+	}
+	if p.fast != nil {
+		pred = p.fast.predictableID(id, key, p.opts.Eps, freq)
+	} else {
+		pred = p.est.Predictable(key, p.opts.Eps, freq)
+	}
+	if pred {
+		if c.trueAt == 0 || freq < c.trueAt {
+			c.trueAt = freq
+		}
+	} else if freq > c.falseAt {
+		c.falseAt = freq
+	}
+	return pred, false
 }
 
 // record incorporates one measured duration for key: the estimator observes
-// the sample and the per-configuration execution counters advance.
-func (p *Profiler) record(key Key, ks *kernelStats, flops, dt float64) {
-	p.est.Observe(key, flops, dt, p.opts.Eps)
+// the sample and the per-configuration execution counters advance. The new
+// sample changes the kernel's model, so its cached predictability bounds are
+// dropped.
+func (p *Profiler) record(key Key, id uint32, ks *kernelStats, flops, dt float64) {
+	if p.fast != nil {
+		p.fast.observeID(id, key, flops, dt, p.opts.Eps)
+	} else {
+		p.est.Observe(key, flops, dt, p.opts.Eps)
+	}
+	p.pred[id] = predCache{}
 	ks.perConfig++
 	p.executed++
 	p.kernelTime += dt
@@ -419,10 +577,10 @@ func (p *Profiler) Kernel(name string, d1, d2, d3, d4 int, flops float64, run fu
 	if exec {
 		dt = p.world.user.Compute(flops)
 		run()
-		p.record(key, ks, flops, dt)
+		p.record(key, id, ks, flops, dt)
 	} else {
 		if dt == 0 {
-			dt = p.est.Estimate(key)
+			dt = p.estimate(key, id)
 		}
 		p.skipped++
 	}
@@ -444,23 +602,53 @@ func (p *Profiler) Kernel(name string, d1, d2, d3, d4 int, flops float64, run fu
 // The dense per-id tables are cleared in place, so the steady state across
 // configurations allocates nothing.
 func (p *Profiler) StartConfig(resetStats bool) {
+	p.startConfig(resetStats, 0, false)
+}
+
+// StartConfigKeyed is StartConfig for a configuration with a stable identity
+// (critter.ConfigKey): with a KernelMemo attached (Options.Memo) and the
+// statistics reset in effect, the configuration adopts the memo-published
+// interner of an earlier run of the same configuration — or, on the first
+// run anywhere, publishes its own at the next Report. Identical to
+// StartConfig when no memo is attached; byte-identical in results always.
+func (p *Profiler) StartConfigKeyed(resetStats bool, cfg uint64) {
+	p.startConfig(resetStats, cfg, true)
+}
+
+// tabMsg is the payload of StartConfig's alignment round: a fresh interner
+// to distribute, or a memo-published configuration to adopt (both nil on
+// every rank but 0, and on rank 0 when ids are not being reset).
+type tabMsg struct {
+	tab *KernelTable
+	mc  *memoConfig
+}
+
+func (p *Profiler) startConfig(resetStats bool, cfg uint64, keyed bool) {
 	resetIDs := resetStats && p.opts.Policy != Eager
 	// Align ranks before resetting clocks; when the per-id bookkeeping is
-	// about to be discarded anyway, the same round distributes a fresh
+	// about to be discarded anyway, the same round distributes the next
 	// shared interner, so dense ids stay as compact as the configuration's
 	// active kernel set instead of accumulating across configurations
 	// (every copy-on-write snapshot copy is sized by the id high-water
-	// mark).
-	var freshTab *KernelTable
+	// mark). With a memo attached, rank 0 first checks whether an earlier
+	// profiler already published this configuration's interner; on a hit
+	// the round distributes the published table and its read-only intern
+	// snapshots instead of an empty table.
+	var msg tabMsg
 	if resetIDs && p.rank == 0 {
-		freshTab = NewKernelTable()
+		if keyed && p.memo != nil {
+			msg.mc = p.memo.lookup(cfg)
+		}
+		if msg.mc == nil {
+			msg.tab = NewKernelTable()
+		}
 	}
-	tabs := mpi.GatherMsgUntimed(p.world.internal, freshTab)
+	g := mpi.GatherMsgUntimed(p.world.internal, msg)[0]
 	p.world.user.ResetClock()
 	p.archivePathFreqs() // resolves ids through the outgoing table
 	p.kernelTime, p.compKernelTime = 0, 0
 	p.volCommWords, p.volSync, p.volFlops = 0, 0, 0
-	p.executed, p.skipped = 0, 0
+	p.executed, p.skipped, p.memoizedSkips = 0, 0, 0
 	if resetIDs {
 		// Archive what the estimator learned before wiping it, so the
 		// run's exported profile spans every configuration. (Without a
@@ -469,10 +657,22 @@ func (p *Profiler) StartConfig(resetStats bool) {
 		p.archiveEstimator()
 		p.est.Reset()
 		p.extrapolatedSkips = 0
-		// Adopt the fresh interner and empty the per-id tables down to
-		// zero length (capacity kept) so they regrow to the new, compact
-		// id range.
-		p.tab = tabs[0]
+		p.memoKey = cfg
+		p.memoKeyed = keyed && p.memo != nil
+		if g.mc != nil {
+			// Memo hit: adopt the published interner and snapshots.
+			p.tab = g.mc.tab
+			p.roIDs, p.roKeys = g.mc.idOf, g.mc.keys
+			p.memoFresh = false
+		} else {
+			p.tab = g.tab
+			p.roIDs, p.roKeys = nil, nil
+			// Rank 0 owes the memo this configuration's table once the
+			// run completes (one publication per world, not per rank).
+			p.memoFresh = p.memoKeyed && p.rank == 0
+		}
+		// Empty the per-id tables down to zero length (capacity kept) so
+		// they regrow to the new, compact id range.
 		clear(p.idOf)
 		p.lastValid = false
 		clear(p.keys)
@@ -484,9 +684,16 @@ func (p *Profiler) StartConfig(resetStats bool) {
 		p.localFreq = p.localFreq[:0]
 		clear(p.pathKernelTime)
 		p.pathKernelTime = p.pathKernelTime[:0]
+		clear(p.pred)
+		p.pred = p.pred[:0]
 		kc := p.path.Kernels
 		kc.reset()
 		p.path = Pathset{Kernels: kernelCounts{vals: kc.vals[:0]}}
+		if n := len(p.roKeys); n > 0 {
+			// The configuration's id range is known up front: size the
+			// dense tables once instead of growing them kernel by kernel.
+			p.ensure(uint32(n - 1))
+		}
 		return
 	}
 	kc := p.path.Kernels
@@ -500,8 +707,12 @@ func (p *Profiler) StartConfig(resetStats bool) {
 }
 
 // SetEps changes the confidence tolerance (used by sweeps reusing one
-// profiler).
-func (p *Profiler) SetEps(eps float64) { p.opts.Eps = eps }
+// profiler). Cached predictability decisions are bound to the tolerance
+// they were made under, so the cache is dropped wholesale.
+func (p *Profiler) SetEps(eps float64) {
+	p.opts.Eps = eps
+	clear(p.pred)
+}
 
 // SetPolicy changes the selective-execution policy (used by the a-priori
 // method, whose offline pass runs under online propagation).
@@ -518,27 +729,33 @@ func (p *Profiler) SetAprioriFreq(f map[Key]int64) { p.opts.AprioriFreq = f }
 // communicator: critical-path metrics and kernel-time maxima reduce with
 // max, volumetric metrics average over ranks.
 type Report struct {
-	Predicted     float64 // predicted execution time (max rank pathset)
-	PredictedComp float64 // predicted critical-path computation time
-	PredictedComm float64 // predicted critical-path communication time
-	Wall          float64 // actual virtual time consumed (max rank clock)
-	BSPCommCrit   float64 // critical-path BSP communication (words)
-	BSPSyncCrit   float64 // critical-path BSP synchronization (messages)
-	BSPCompCrit   float64 // critical-path BSP computation (flops)
-	BSPCommVol    float64 // volumetric-average BSP communication
-	BSPSyncVol    float64 // volumetric-average BSP synchronization
-	BSPCompVol    float64 // volumetric-average BSP computation
-	KernelTime    float64 // max over ranks: time executing selectable kernels
-	CompKernel    float64 // max over ranks: time executing compute kernels
-	Executed      int64   // total kernel executions across ranks
-	Skipped       int64   // total kernel skips across ranks
+	Predicted     float64 `json:"Predicted"`     // predicted execution time (max rank pathset)
+	PredictedComp float64 `json:"PredictedComp"` // predicted critical-path computation time
+	PredictedComm float64 `json:"PredictedComm"` // predicted critical-path communication time
+	Wall          float64 `json:"Wall"`          // actual virtual time consumed (max rank clock)
+	BSPCommCrit   float64 `json:"BSPCommCrit"`   // critical-path BSP communication (words)
+	BSPSyncCrit   float64 `json:"BSPSyncCrit"`   // critical-path BSP synchronization (messages)
+	BSPCompCrit   float64 `json:"BSPCompCrit"`   // critical-path BSP computation (flops)
+	BSPCommVol    float64 `json:"BSPCommVol"`    // volumetric-average BSP communication
+	BSPSyncVol    float64 `json:"BSPSyncVol"`    // volumetric-average BSP synchronization
+	BSPCompVol    float64 `json:"BSPCompVol"`    // volumetric-average BSP computation
+	KernelTime    float64 `json:"KernelTime"`    // max over ranks: time executing selectable kernels
+	CompKernel    float64 `json:"CompKernel"`    // max over ranks: time executing compute kernels
+	Executed      int64   `json:"Executed"`      // total kernel executions across ranks
+	Skipped       int64   `json:"Skipped"`       // total kernel skips across ranks
+	// Memoized counts the skips (across ranks) whose predictability
+	// decision was replayed from the cross-config memoization layer rather
+	// than re-derived; always <= Skipped. Excluded from serialized
+	// envelopes: memoization is observational, and hit counts depend on
+	// sweep order, so they must not perturb golden artifacts.
+	Memoized int64 `json:"-"`
 }
 
 // reportMsg carries one rank's report contributions through the single
 // fused reduction round: maxes reduce elementwise by max, sums by +.
 type reportMsg struct {
 	maxes [9]float64
-	sums  [5]float64
+	sums  [6]float64
 }
 
 // mergeReport folds report contributions in comm-rank order — elementwise
@@ -565,12 +782,22 @@ func (p *Profiler) Report() Report {
 			p.path.BSPComm, p.path.BSPSync, p.path.BSPComp,
 			p.world.user.Clock(), p.kernelTime, p.compKernelTime,
 		},
-		sums: [5]float64{
+		sums: [6]float64{
 			p.volCommWords, p.volSync, p.volFlops,
 			float64(p.executed), float64(p.skipped),
+			float64(p.memoizedSkips),
 		},
 	}
 	g := mpi.AllreduceMsg(p.world.internal, local, mergeReport)
+	// The configuration is complete, so its interner is too: if this
+	// profiler ran the configuration first (memo miss at StartConfigKeyed),
+	// rank 0 publishes the table for every later profiler of the same
+	// configuration — notably the selective run that follows this reference
+	// run within the same sweep iteration.
+	if p.memoFresh {
+		p.memo.publish(p.memoKey, p.tab)
+		p.memoFresh = false
+	}
 	maxes, sums := g.maxes, g.sums
 	fp := float64(p.psize)
 	return Report{
@@ -588,7 +815,53 @@ func (p *Profiler) Report() Report {
 		BSPCompVol:    sums[2] / fp,
 		Executed:      int64(sums[3]),
 		Skipped:       int64(sums[4]),
+		Memoized:      int64(sums[5]),
 	}
+}
+
+// Retire donates the profiler's recyclable per-rank state to the attached
+// memo — dense per-id tables, the private intern cache, the path-frequency
+// array, and the built-in estimator's accumulator slabs — for the next
+// profiler built with Options.Memo on the same memo to adopt. The profiler
+// must not be used afterwards. A no-op without a memo. Call it per rank
+// once the sweep is done with the profiler (after the final Report /
+// GlobalProfile).
+func (p *Profiler) Retire() {
+	if p.memo == nil {
+		return
+	}
+	a := &memoArena{}
+	clear(p.idOf)
+	a.idOf = p.idOf
+	clear(p.keys[:cap(p.keys)])
+	a.keys = p.keys[:0]
+	clear(p.k[:cap(p.k)])
+	a.k = p.k[:0]
+	clear(p.localFreq[:cap(p.localFreq)])
+	a.localFreq = p.localFreq[:0]
+	clear(p.pathKernelTime[:cap(p.pathKernelTime)])
+	a.pathKernelTime = p.pathKernelTime[:0]
+	clear(p.pred[:cap(p.pred)])
+	a.pred = p.pred[:0]
+	// The frequency array travels only when exclusively owned: a frozen
+	// snapshot (an in-flight message, an adopted global table) may still
+	// alias a shared one.
+	if kc := p.path.Kernels; !kc.shared && kc.vals != nil {
+		clear(kc.vals[:cap(kc.vals)])
+		a.counts = kc.vals[:0]
+	}
+	if r, ok := p.est.(slabRecycler); ok {
+		a.slabs = r.releaseSlabs()
+	}
+	p.memo.releaseArena(a)
+	// Sever the donated state so accidental reuse fails loudly instead of
+	// corrupting the adopter.
+	p.memo = nil
+	p.idOf, p.keys, p.k = nil, nil, nil
+	p.localFreq, p.pathKernelTime, p.pred = nil, nil, nil
+	p.roIDs, p.roKeys = nil, nil
+	p.lastValid = false
+	p.path.Kernels = kernelCounts{}
 }
 
 // GlobalPathFreqs merges the final path frequency tables across ranks,
@@ -698,6 +971,26 @@ func (p *Profiler) ExportProfile() *Profile {
 // computes the identical artifact.
 func (p *Profiler) GlobalProfile() *Profile {
 	profs := mpi.GatherMsgUntimed(p.world.internal, p.ExportProfile())
+	return mergeExports(profs)
+}
+
+// GlobalProfileRoot is GlobalProfile with the fold performed only on root:
+// other ranks participate in the gather (collective) but return nil instead
+// of computing a merged artifact nobody reads. The sweep executor keeps only
+// rank 0's SweepResult, so the identical folds on ranks 1..P-1 were pure
+// allocation churn — on the benchmark sweep they were the single largest
+// allocation site after the workload's own tiles.
+func (p *Profiler) GlobalProfileRoot(root int) *Profile {
+	profs := mpi.GatherMsgUntimed(p.world.internal, p.ExportProfile())
+	if p.rank != root {
+		return nil
+	}
+	return mergeExports(profs)
+}
+
+// mergeExports folds gathered per-rank exports in comm-rank order: one clone
+// then in-place merges.
+func mergeExports(profs []*Profile) *Profile {
 	out := profs[0].Clone()
 	if out == nil {
 		out = &Profile{SchemaVersion: ProfileSchemaVersion}

@@ -133,6 +133,9 @@ func (f *fabric[T]) post(dest int, m fmsg[T]) {
 	f.w.checkAbort()
 	box.queue = append(box.queue, m)
 	box.cond.Broadcast()
+	if d := f.w.des; d != nil {
+		d.ready(dest)
+	}
 }
 
 // match blocks until a message with (ctx, src, tag) is present in the
@@ -151,7 +154,11 @@ func (f *fabric[T]) match(c *Comm, src, tag int) fmsg[T] {
 				return out
 			}
 		}
-		box.cond.Wait()
+		if d := f.w.des; d != nil {
+			d.park(c.state.worldRank, &box.mu)
+		} else {
+			box.cond.Wait()
+		}
 	}
 }
 
@@ -189,10 +196,23 @@ func (f *fabric[T]) gatherRound(c *Comm, payload T) ([]T, float64, uint64) {
 		rd.maxT = maxT
 		rd.done = true
 		sh.cond.Broadcast()
+		if d := f.w.des; d != nil {
+			// Every other member has deposited and parked on this round;
+			// route their wakeups explicitly.
+			for _, wr := range c.group {
+				if wr != c.state.worldRank {
+					d.ready(wr)
+				}
+			}
+		}
 	}
 	for !rd.done {
 		f.w.checkAbort()
-		sh.cond.Wait()
+		if d := f.w.des; d != nil {
+			d.park(c.state.worldRank, &sh.mu)
+		} else {
+			sh.cond.Wait()
+		}
 	}
 	f.w.checkAbort()
 	payloads, maxT := rd.payloads, rd.maxT

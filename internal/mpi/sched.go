@@ -1,0 +1,239 @@
+package mpi
+
+// The discrete-event scheduler: a cooperative, baton-passing alternative to
+// the free-running goroutine-per-rank execution mode. Small worlds spend a
+// large share of their wall time in condition-variable broadcasts and
+// runtime wakeups — every collective round wakes all waiters so that one of
+// them can make progress. Under the event scheduler exactly one rank runs
+// at any moment: a blocking rank parks itself, the scheduler picks the
+// runnable rank with the smallest virtual clock (ties to the lowest world
+// rank, keeping the pick deterministic), and hands it the baton over a
+// buffered channel. Wakeups are routed explicitly — a posted message
+// readies its destination, a completed collective round readies its
+// cohort — so there are no spurious wakeups and no thundering herds.
+//
+// Determinism: the virtual-clock results never depend on which execution
+// mode ran the world (clocks, RNG streams, and matching are all
+// schedule-independent by construction), so the scheduler is a pure
+// throughput choice. The run-queue discipline (min virtual clock) merely
+// approximates the causal order a real machine would see, keeping mailbox
+// queues short.
+//
+// All of the scheduler's mutable state lives in this file, guarded by one
+// mutex per world; critterlint's fabriclock analyzer confines raw
+// synchronization in package mpi to fabric.go, world.go, and sched.go.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// SchedulerKind selects how a World executes its ranks.
+type SchedulerKind uint8
+
+const (
+	// SchedAuto picks SchedEvent for worlds of at most
+	// DefaultEventThreshold ranks and SchedGoroutine above. The default.
+	SchedAuto SchedulerKind = iota
+	// SchedGoroutine runs every rank as a free goroutine blocking on
+	// condition variables — the pre-scheduler behavior, and the right
+	// choice when ranks do real CPU work that can overlap.
+	SchedGoroutine
+	// SchedEvent runs ranks cooperatively under the discrete-event loop:
+	// one runnable rank at a time, picked by minimum virtual clock.
+	SchedEvent
+)
+
+// DefaultEventThreshold is the world size at or below which SchedAuto
+// selects the event scheduler. Sweep worlds in the registered studies are
+// this size or smaller; the goroutine mode keeps large stress worlds on
+// the parallel path.
+const DefaultEventThreshold = 32
+
+// String returns the flag-facing spelling of k.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedGoroutine:
+		return "goroutine"
+	case SchedEvent:
+		return "event"
+	default:
+		return "auto"
+	}
+}
+
+// ParseScheduler parses a -sched flag value: "auto", "goroutine", or
+// "event".
+func ParseScheduler(s string) (SchedulerKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return SchedAuto, nil
+	case "goroutine", "goroutines", "parallel":
+		return SchedGoroutine, nil
+	case "event", "des", "discrete-event":
+		return SchedEvent, nil
+	}
+	return SchedAuto, fmt.Errorf("mpi: unknown scheduler %q (want auto, goroutine, or event)", s)
+}
+
+// SchedulerNames lists the accepted -sched values for usage strings.
+func SchedulerNames() string { return "auto, goroutine, event" }
+
+// errDeadlock is the abort cause when every live rank is blocked and no
+// wakeup can arrive. The goroutine mode would hang forever in this state;
+// the event scheduler proves the hang at the moment it becomes inevitable.
+var errDeadlock = fmt.Errorf("mpi: deadlock: every rank is blocked with no message in flight")
+
+// desState is one rank's scheduling state.
+type desState uint8
+
+const (
+	desRunnable desState = iota // ready to run, waiting for the baton
+	desRunning                  // holds the baton (at most one rank)
+	desParked                   // blocked at a fabric wait site
+	desDone                     // rank body returned or unwound
+)
+
+// desSched is the per-world discrete-event run queue. Exactly one rank is
+// desRunning at a time; the baton moves only at park, finish, or abort
+// drain, each of which picks the next runnable rank under mu.
+//
+// Lock order: a fabric inner lock (mailbox or shard mutex) may be held
+// when acquiring mu; mu never wraps an inner-lock acquisition.
+type desSched struct {
+	w      *World
+	mu     sync.Mutex
+	st     []desState
+	live   int // ranks not yet desDone
+	resume []chan struct{}
+}
+
+// newDES builds the scheduler with every rank runnable at virtual time
+// zero. Resume channels are buffered so a baton can be handed to a rank
+// goroutine the Go runtime has not started yet.
+func newDES(w *World) *desSched {
+	d := &desSched{
+		w:      w,
+		st:     make([]desState, w.size),
+		live:   w.size,
+		resume: make([]chan struct{}, w.size),
+	}
+	for r := range d.resume {
+		d.resume[r] = make(chan struct{}, 1)
+	}
+	return d
+}
+
+// start hands the baton to the first rank (all clocks are zero, so rank 0).
+func (d *desSched) start() {
+	d.mu.Lock()
+	d.handoffLocked()
+	d.mu.Unlock()
+}
+
+// await blocks the rank goroutine until it first receives the baton.
+func (d *desSched) await(rank int) { <-d.resume[rank] }
+
+// pickLocked returns the runnable rank with the smallest virtual clock
+// (ties to the lowest rank), or -1 if none is runnable. Parked ranks last
+// wrote their clocks before parking under mu, so the reads here are
+// ordered by the mutex.
+func (d *desSched) pickLocked() int {
+	next, bestT := -1, 0.0
+	for r, s := range d.st {
+		if s != desRunnable {
+			continue
+		}
+		t := d.w.ranks[r].clock.Now()
+		if next < 0 || t < bestT {
+			next, bestT = r, t
+		}
+	}
+	return next
+}
+
+// handoffLocked passes the baton to the next runnable rank. When the world
+// has aborted it first drains the parked set (every parked rank becomes
+// runnable so it can observe the abort and unwind). It returns false only
+// on a genuine deadlock: live ranks remain, none is runnable, and the
+// world has not aborted — the caller must abort and kick.
+func (d *desSched) handoffLocked() bool {
+	next := d.pickLocked()
+	if next < 0 && d.live > 0 && d.w.aborted.Load() {
+		for r, s := range d.st {
+			if s == desParked {
+				d.st[r] = desRunnable
+			}
+		}
+		next = d.pickLocked()
+	}
+	if next >= 0 {
+		d.st[next] = desRunning
+		d.resume[next] <- struct{}{}
+		return true
+	}
+	return d.live == 0
+}
+
+// park blocks the calling rank at a fabric wait site. The caller holds
+// inner (the mailbox or shard lock guarding its wait predicate); park
+// releases it while blocked and re-acquires it before returning, exactly
+// like sync.Cond.Wait. Because the parking rank held the baton, marking it
+// parked leaves no rank running, so the handoff below is the world's only
+// source of progress — if it finds nothing runnable the world is provably
+// deadlocked and is aborted rather than hung.
+func (d *desSched) park(rank int, inner *sync.Mutex) {
+	d.mu.Lock()
+	d.st[rank] = desParked
+	ok := d.handoffLocked()
+	d.mu.Unlock()
+	inner.Unlock()
+	if !ok {
+		d.w.abort(errDeadlock)
+		d.kick()
+	}
+	<-d.resume[rank]
+	inner.Lock()
+}
+
+// ready marks a parked rank runnable. Called by the running rank when it
+// posts a message to rank's mailbox or completes a collective round rank
+// is waiting on; a rank that is running, already runnable, or done is left
+// alone (the wakeup it represents will be observed by the wait-site
+// predicate re-check).
+func (d *desSched) ready(rank int) {
+	d.mu.Lock()
+	if d.st[rank] == desParked {
+		d.st[rank] = desRunnable
+	}
+	d.mu.Unlock()
+}
+
+// finish retires a rank whose body returned or unwound and hands the baton
+// on. Called from the rank goroutine's exit path after abort bookkeeping,
+// so an abort drain here sees the flag.
+func (d *desSched) finish(rank int) {
+	d.mu.Lock()
+	d.st[rank] = desDone
+	d.live--
+	ok := d.handoffLocked()
+	d.mu.Unlock()
+	if !ok {
+		d.w.abort(errDeadlock)
+		d.kick()
+	}
+}
+
+// kick re-runs the handoff after an abort raised outside the scheduler's
+// locks, making every parked rank runnable so the world drains.
+func (d *desSched) kick() {
+	d.mu.Lock()
+	for r, s := range d.st {
+		if s == desParked {
+			d.st[r] = desRunnable
+		}
+	}
+	d.handoffLocked()
+	d.mu.Unlock()
+}

@@ -1,0 +1,124 @@
+package mpi
+
+// Discrete-event scheduler tests: the event mode must produce the same
+// virtual clocks as the goroutine mode on the mixed stress workload, unwind
+// cleanly when a rank panics while peers are parked on the baton, and prove
+// (rather than hang on) deadlocks. Run under -race in CI, these double as
+// the scheduler's data-race stress.
+
+import (
+	"errors"
+	"testing"
+
+	"critter/internal/sim"
+)
+
+// TestStressCrossScheduler32 runs the mixed stress workload under both
+// concrete schedulers and demands bit-identical per-rank virtual clocks:
+// the baton-passing event loop must not change what the free-running
+// goroutine mode computes.
+func TestStressCrossScheduler32(t *testing.T) {
+	m := sim.DefaultMachine()
+	m.NoiseSigma = 0.08
+	var ref []float64
+	for _, sched := range []SchedulerKind{SchedGoroutine, SchedEvent} {
+		sums := make([]float64, 32)
+		w := NewWorld(32, m, 0xfeed)
+		w.SetScheduler(sched)
+		if got := w.EffectiveScheduler(); got != sched {
+			t.Fatalf("EffectiveScheduler() = %v after SetScheduler(%v)", got, sched)
+		}
+		if err := w.Run(func(c *Comm) { stressBody(c, sums) }); err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+		if ref == nil {
+			ref = sums
+			continue
+		}
+		for r, v := range sums {
+			if v != ref[r] {
+				t.Fatalf("%v: rank %d virtual time %v differs from goroutine mode's %v", sched, r, v, ref[r])
+			}
+		}
+	}
+}
+
+// TestStressAbortFanoutDES panics one rank mid-workload under the event
+// scheduler while its peers are parked waiting for the baton; the abort
+// drain must make every parked rank runnable so the world unwinds via
+// ErrAborted instead of stalling with no baton holder, and Run must surface
+// the original failure.
+func TestStressAbortFanoutDES(t *testing.T) {
+	boom := errors.New("rank 9 exploded")
+	w := NewWorld(32, sim.DefaultMachine(), 7)
+	w.SetScheduler(SchedEvent)
+	sums := make([]float64, 32)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 9 {
+			// Let peers get deep into blocking operations first.
+			c.Barrier()
+			panic(boom)
+		}
+		c.Barrier()
+		stressBody(c, sums)
+	})
+	if err == nil {
+		t.Fatal("Run returned nil after a rank panic")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("Run error %v does not wrap the original panic", err)
+	}
+}
+
+// TestDESDeadlockDetected pins a provable deadlock (two ranks both
+// receiving first) to the event scheduler: with every live rank parked and
+// no message in flight, the scheduler must abort the world with its
+// deadlock error rather than hang — the property the goroutine mode cannot
+// offer.
+func TestDESDeadlockDetected(t *testing.T) {
+	w := NewWorld(2, sim.DefaultMachine(), 1)
+	w.SetScheduler(SchedEvent)
+	err := w.Run(func(c *Comm) {
+		buf := make([]float64, 1)
+		c.Recv(1-c.Rank(), 0, buf) // both ranks wait; nobody sends
+	})
+	if err == nil {
+		t.Fatal("Run returned nil on a deadlocked world")
+	}
+	if !errors.Is(err, errDeadlock) {
+		t.Errorf("Run error %v is not the deadlock abort", err)
+	}
+}
+
+// TestDESRepeatedAbortDeterminism aborts an event-scheduled world many
+// times in a row (fresh world each round, same seed) and checks the error
+// keeps surfacing — exercising the abort drain's baton bookkeeping under
+// -race across repeated park/ready/finish interleavings.
+func TestDESRepeatedAbortDeterminism(t *testing.T) {
+	boom := errors.New("round abort")
+	for round := 0; round < 25; round++ {
+		w := NewWorld(8, sim.DefaultMachine(), uint64(round))
+		w.SetScheduler(SchedEvent)
+		err := w.Run(func(c *Comm) {
+			buf := make([]float64, 4)
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			for i := 0; i < 4; i++ {
+				if c.Rank()%2 == 0 {
+					c.Send(next, i, buf)
+					c.Recv(prev, i, buf)
+				} else {
+					c.Recv(prev, i, buf)
+					c.Send(next, i, buf)
+				}
+			}
+			if c.Rank() == round%8 {
+				panic(boom)
+			}
+			c.Barrier() // parked here when the abort lands
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("round %d: error %v does not wrap the abort", round, err)
+		}
+	}
+}

@@ -23,6 +23,7 @@ package mpi
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +68,12 @@ type World struct {
 	abortMu sync.Mutex
 	abortE  any
 	wakers  []waker
+
+	// Scheduler selection: schedKind is what the caller asked for
+	// (SetScheduler, default SchedAuto); des is non-nil iff Run resolved
+	// to the event scheduler (see sched.go).
+	schedKind SchedulerKind
+	des       *desSched
 }
 
 // waker pairs a condition variable with the lock its waiters hold, so abort
@@ -147,6 +154,29 @@ func (w *World) SetTracer(t obs.Tracer) { w.trace = t }
 // deterministic and volume bounded by the run, not the world size.
 func (w *World) TracerOf() obs.Tracer { return w.trace }
 
+// SetScheduler selects the execution mode for Run. Call it before Run; the
+// default, SchedAuto, picks the event scheduler for small worlds on
+// multi-core hosts (see EffectiveScheduler). Virtual-clock results are
+// identical under every mode — the scheduler is a throughput choice, never
+// a semantic one.
+func (w *World) SetScheduler(k SchedulerKind) { w.schedKind = k }
+
+// EffectiveScheduler resolves the mode Run will use (never SchedAuto).
+// Auto picks the discrete-event scheduler only for worlds of at most
+// DefaultEventThreshold ranks on hosts running more than one OS thread:
+// the event loop exists to keep a small world's ranks from thrashing
+// across cores, while under GOMAXPROCS=1 the Go runtime already serializes
+// goroutines more cheaply than the baton handoff does.
+func (w *World) EffectiveScheduler() SchedulerKind {
+	if w.schedKind == SchedAuto {
+		if w.size <= DefaultEventThreshold && runtime.GOMAXPROCS(0) > 1 {
+			return SchedEvent
+		}
+		return SchedGoroutine
+	}
+	return w.schedKind
+}
+
 // registerWakers records condition variables the abort broadcast must
 // reach.
 func (w *World) registerWakers(ws []waker) {
@@ -160,11 +190,17 @@ func (w *World) registerWakers(ws []waker) {
 // remaining ranks are woken and unwound via ErrAborted panics.
 // A World must not be reused after Run returns.
 func (w *World) Run(body func(c *Comm)) error {
+	if w.EffectiveScheduler() == SchedEvent {
+		w.des = newDES(w)
+	}
 	var wg sync.WaitGroup
 	wg.Add(w.size)
 	for r := 0; r < w.size; r++ {
 		go func(rank int) {
 			defer wg.Done()
+			if w.des != nil {
+				w.des.await(rank)
+			}
 			completed := false
 			defer func() {
 				if e := recover(); e != nil {
@@ -175,10 +211,17 @@ func (w *World) Run(body func(c *Comm)) error {
 					// left blocked.
 					w.abort(fmt.Errorf("rank %d exited abnormally", rank))
 				}
+				if w.des != nil {
+					// After abort bookkeeping, so a drain sees the flag.
+					w.des.finish(rank)
+				}
 			}()
 			body(w.worldComm(rank))
 			completed = true
 		}(r)
+	}
+	if w.des != nil {
+		w.des.start()
 	}
 	wg.Wait()
 	if w.aborted.Load() {

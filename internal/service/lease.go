@@ -201,14 +201,18 @@ func (s *Scheduler) ExtendLease(workerID, jobID string, events []Event) error {
 		if ev.Skipped > 0 {
 			s.met.kernelsSkipped.With(workloadName).Add(ev.Skipped)
 		}
+		if ev.Memoized > 0 {
+			s.met.kernelsMemoized.With(workloadName).Add(ev.Memoized)
+		}
 		j.sweepsDone++
 		j.emitLocked(Event{
 			Type: "sweep", Job: j.id,
 			Policy: ev.Policy, Eps: ev.Eps,
 			Done: j.sweepsDone, Total: j.sweepsTotal,
 			Executed: ev.Executed, Skipped: ev.Skipped,
-			Error:  ev.Error,
-			Worker: workerID,
+			Memoized: ev.Memoized,
+			Error:    ev.Error,
+			Worker:   workerID,
 		})
 	}
 	return nil

@@ -22,6 +22,7 @@ import (
 
 	"critter/internal/autotune"
 	"critter/internal/critter"
+	"critter/internal/mpi"
 	"critter/internal/obs"
 	"critter/internal/sim"
 	"critter/internal/store"
@@ -70,6 +71,10 @@ type Event struct {
 	// absence).
 	Executed int64 `json:"executed"`
 	Skipped  int64 `json:"skipped"`
+	// Memoized counts the skipped kernels whose skip decision was answered
+	// by the sweep-scoped kernel memo rather than a fresh predictability
+	// test (a subset of Skipped; sweep events only).
+	Memoized int64 `json:"memoized"`
 	// Error carries a sweep's or the job's failure, when there is one.
 	Error string `json:"error,omitempty"`
 	// Worker names the worker process involved: the leasing worker on
@@ -267,6 +272,10 @@ type Config struct {
 	// Workers bounds each job's sweep pool (Tuner.Workers); 0 means
 	// GOMAXPROCS.
 	Workers int
+	// Scheduler picks the world scheduler every job's sweeps run under
+	// (Tuner.Scheduler). The zero value is mpi.SchedAuto. Results are
+	// byte-identical under every choice — this is a throughput knob only.
+	Scheduler mpi.SchedulerKind
 	// Store accumulates learned profiles across jobs; nil means a fresh
 	// store private to this scheduler.
 	Store *ProfileStore
@@ -1042,14 +1051,18 @@ func (s *Scheduler) runJob(j *job) {
 	}
 	kernExec := s.met.kernelsExecuted.With(spec.workload.Name())
 	kernSkip := s.met.kernelsSkipped.With(spec.workload.Name())
+	kernMemo := s.met.kernelsMemoized.With(spec.workload.Name())
 
 	s.tunerRuns.Add(1)
-	env, merged, err := executeSpec(ctx, spec, s.cfg.Machine, s.cfg.Workers, prior, tracer, func(sw autotune.SweepResult, swErr error) {
+	env, merged, err := executeSpec(ctx, spec, s.cfg.Machine, s.cfg.Workers, s.cfg.Scheduler, prior, tracer, func(sw autotune.SweepResult, swErr error) {
 		if sw.Executed > 0 {
 			kernExec.Add(sw.Executed)
 		}
 		if sw.Skipped > 0 {
 			kernSkip.Add(sw.Skipped)
+		}
+		if sw.KernelsMemoized > 0 {
+			kernMemo.Add(sw.KernelsMemoized)
 		}
 		j.mu.Lock()
 		j.sweepsDone++
@@ -1058,6 +1071,7 @@ func (s *Scheduler) runJob(j *job) {
 			Policy: sw.Policy.String(), Eps: sw.Eps,
 			Done: j.sweepsDone, Total: j.sweepsTotal,
 			Executed: sw.Executed, Skipped: sw.Skipped,
+			Memoized: sw.KernelsMemoized,
 		}
 		if swErr != nil {
 			ev.Error = swErr.Error()

@@ -45,7 +45,7 @@ func Cholesky(p *critter.Profiler, a *TileMatrix, cfg CholConfig) {
 	// panelTiles caches the factored column-k tiles this rank received:
 	// panelTiles[k][i] is L(i,k) for locally needed i.
 	panelTiles := make(map[int]map[int][]float64)
-	sc := newRankScratch()
+	sc := newRankScratch(cc.Size())
 	// Received panel tiles recycle through the world's buffer pool (when
 	// the executor threaded one) and cache maps through a local freelist,
 	// once their panel's updates complete; tiles aliasing the matrix's own

@@ -42,7 +42,7 @@ func QR(p *critter.Profiler, a *TileMatrix, cfg QRConfig) {
 	mt, nt, nb, ib := a.MT, a.NT, a.NB, cfg.IB
 	cc := a.G.All
 	me := cc.Rank()
-	sc := newRankScratch()
+	sc := newRankScratch(cc.Size())
 	vWords := nb*nb + ib*nb // a V tile with its stacked T factor
 
 	tagOf := func(k, i, j, phase int) int {

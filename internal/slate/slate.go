@@ -9,7 +9,6 @@ package slate
 import (
 	"fmt"
 	"math"
-	"slices"
 
 	"critter/internal/critter"
 	"critter/internal/grid"
@@ -23,12 +22,43 @@ type TileMatrix struct {
 	G      *grid.Grid2D
 	NB     int
 	MT, NT int
-	tiles  map[[2]int][]float64
+	// tiles holds local tile storage indexed i*NT+j (nil = absent). A dense
+	// slice, not a map: tile lookups sit in the factorizations' innermost
+	// loops and the index space (MT*NT pointers) is small.
+	tiles [][]float64
+	// pool, when non-nil, supplies tile storage (world buffer pool). Pooled
+	// tiles have unspecified initial contents, which is sound because every
+	// tile the factorizations touch is fully overwritten by a Fill* call
+	// before its first read; Release returns the storage when the matrix is
+	// done. Message payloads are captured at issue time (mpi.Isend), so no
+	// in-flight message ever aliases tile storage.
+	pool *mpi.BufPool
 }
 
-// NewTileMatrix creates an empty tile matrix of mt-by-nt tiles.
+// NewTileMatrix creates an empty tile matrix of mt-by-nt tiles. Tile
+// storage draws from the world's buffer pool when the executor installed
+// one; call Release when the matrix (and any aliases of its tiles) is dead.
 func NewTileMatrix(g *grid.Grid2D, mt, nt, nb int) *TileMatrix {
-	return &TileMatrix{G: g, NB: nb, MT: mt, NT: nt, tiles: make(map[[2]int][]float64)}
+	return &TileMatrix{
+		G: g, NB: nb, MT: mt, NT: nt,
+		tiles: make([][]float64, mt*nt),
+		pool:  g.All.Raw().World().BufPoolOf(),
+	}
+}
+
+// Release recycles every tile's storage back to the buffer pool and empties
+// the matrix. The caller asserts no live references to any tile remain.
+// No-op without a pool.
+func (t *TileMatrix) Release() {
+	if t.pool == nil {
+		return
+	}
+	for ix, tl := range t.tiles {
+		if tl != nil {
+			t.pool.Put(tl)
+			t.tiles[ix] = nil
+		}
+	}
 }
 
 // Owner returns the grid rank owning tile (i, j).
@@ -45,17 +75,21 @@ func (t *TileMatrix) Tile(i, j int) []float64 {
 	if !t.Mine(i, j) {
 		panic(fmt.Sprintf("slate: tile (%d,%d) not owned by rank %d", i, j, t.G.All.Rank()))
 	}
-	k := [2]int{i, j}
-	tl, ok := t.tiles[k]
-	if !ok {
-		tl = make([]float64, t.NB*t.NB)
-		t.tiles[k] = tl
+	ix := i*t.NT + j
+	tl := t.tiles[ix]
+	if tl == nil {
+		if t.pool != nil {
+			tl = t.pool.Get(t.NB * t.NB)
+		} else {
+			tl = make([]float64, t.NB*t.NB)
+		}
+		t.tiles[ix] = tl
 	}
 	return tl
 }
 
 // SetTile installs data as local tile (i, j).
-func (t *TileMatrix) SetTile(i, j int, data []float64) { t.tiles[[2]int{i, j}] = data }
+func (t *TileMatrix) SetTile(i, j int, data []float64) { t.tiles[i*t.NT+j] = data }
 
 // FillSymmetricPD fills the lower tiles (i >= j) with the deterministic
 // symmetric positive definite test matrix
@@ -141,12 +175,12 @@ func (t *TileMatrix) GatherDense(root int) []float64 {
 			tag := 1<<20 + i*t.NT + j
 			switch {
 			case owner == root && me == root:
-				if tl, ok := t.tiles[[2]int{i, j}]; ok {
+				if tl := t.tiles[i*t.NT+j]; tl != nil {
 					copyTileIntoDense(full, m, tl, i, j, t.NB)
 				}
 			case me == owner:
-				tl, ok := t.tiles[[2]int{i, j}]
-				if !ok {
+				tl := t.tiles[i*t.NT+j]
+				if tl == nil {
 					tl = buf
 					for k := range tl {
 						tl[k] = 0
@@ -204,29 +238,31 @@ func tileBcast(cc *critter.Comm, owner int, recips []int, tag int, buf []float64
 // otherwise allocate a fresh map and slice each (the sweep executor's
 // allocation budget is dominated by exactly this kind of per-step churn).
 type rankScratch struct {
-	need  map[int]bool
+	marks []bool
 	ranks []int
 }
 
-func newRankScratch() *rankScratch {
-	return &rankScratch{need: make(map[int]bool, 8), ranks: make([]int, 0, 8)}
+func newRankScratch(size int) *rankScratch {
+	return &rankScratch{marks: make([]bool, size), ranks: make([]int, 0, size)}
 }
 
-// reset clears and returns the reusable recipient set.
-func (s *rankScratch) reset() map[int]bool {
-	clear(s.need)
-	return s.need
+// reset clears and returns the reusable recipient mark vector, indexed by
+// grid rank. A dense bool vector, not a map: recipient sets are built per
+// tile broadcast and the rank space is small.
+func (s *rankScratch) reset() []bool {
+	clear(s.marks)
+	return s.marks
 }
 
-// sorted returns the current recipient set as a sorted slice, valid until
-// the next reset. Recipient sets are at most the grid size, so slices.Sort
-// stays in its insertion-sort regime.
+// sorted returns the currently marked ranks in increasing order, valid
+// until the next reset (scanning the marks in index order sorts for free).
 func (s *rankScratch) sorted() []int {
 	out := s.ranks[:0]
-	for r := range s.need {
-		out = append(out, r)
+	for r, m := range s.marks {
+		if m {
+			out = append(out, r)
+		}
 	}
-	slices.Sort(out)
 	s.ranks = out
 	return out
 }

@@ -13,8 +13,9 @@
 #   6. resubmit the identical body and require a memoized (dedupOf) answer,
 #      then assert the observability surface: the job's span trace,
 #      /v1/metrics (JSON) naming the counter families, and /metrics
-#      (Prometheus text) reporting jobs_completed_total >= 1 and
-#      memo_hits_total >= 1,
+#      (Prometheus text) reporting jobs_completed_total >= 1,
+#      memo_hits_total >= 1, and kernels_memoized_total >= 1 (the
+#      sweep-scoped kernel memo fired during the job),
 #   7. shut the server down gracefully (SIGTERM) and require a clean exit,
 #   8. RESTART against the same store directory and require the finished
 #      job, its envelope (golden-diffed again), and the persisted profile
@@ -123,7 +124,7 @@ grep -q '"kind": *"round"' "$workdir/trace.json"
 
 echo "=== metrics: JSON snapshot names the counter families"
 curl -fsS "$base/v1/metrics" >"$workdir/metrics.json"
-for fam in jobs_completed_total memo_hits_total memo_entry_hits kernels_executed_total; do
+for fam in jobs_completed_total memo_hits_total memo_entry_hits kernels_executed_total kernels_memoized_total; do
   grep -q "\"$fam\"" "$workdir/metrics.json" || { echo "/v1/metrics is missing $fam"; exit 1; }
 done
 
@@ -136,6 +137,10 @@ memo_hits=$(awk '$1 == "memo_hits_total" {print $2}' "$workdir/metrics.prom")
 [[ -n "$memo_hits" && "$memo_hits" -ge 1 ]] || { echo "memo_hits_total = '$memo_hits', want >= 1"; exit 1; }
 executed=$(awk -F' ' '/^kernels_executed_total{workload="candmc"}/ {print $2}' "$workdir/metrics.prom")
 [[ -n "$executed" && "$executed" -ge 1 ]] || { echo "kernels_executed_total = '$executed', want >= 1"; exit 1; }
+# The sweep-scoped kernel memo must have answered skip decisions during the
+# job's warm (post-first-sweep) grid cells.
+memoized=$(awk -F' ' '/^kernels_memoized_total{workload="candmc"}/ {print $2}' "$workdir/metrics.prom")
+[[ -n "$memoized" && "$memoized" -ge 1 ]] || { echo "kernels_memoized_total = '$memoized', want >= 1"; exit 1; }
 
 echo "=== graceful shutdown"
 stop_server "$workdir/serve.log"
