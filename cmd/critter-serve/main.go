@@ -24,6 +24,8 @@
 // API (JSON; see the README's Service section for the full table):
 //
 //	POST   /v1/jobs                 {"workload":"candmc","scale":"quick","eps":[0.125]}
+//	                                (optional "strategy": exhaustive, random:N,
+//	                                halving[:ETA], or surrogate:N[:BATCH])
 //	GET    /v1/jobs                 all jobs
 //	GET    /v1/jobs/{id}            job status
 //	DELETE /v1/jobs/{id}            cancel

@@ -3,7 +3,8 @@
 // reports: full execution time, predicted time, prediction error, and the
 // kernel execution/skip counts. The grid runs through a Tuner: -strategy
 // selects which configurations each sweep evaluates (exhaustive reproduces
-// the paper; random:N and halving trade coverage for budget), -timeout
+// the paper; random:N, halving[:ETA], and surrogate:N[:BATCH] — the
+// model-guided strategy — trade coverage for budget), -timeout
 // cancels the remaining work at a deadline, and -workers bounds the
 // concurrent sweep pool.
 //

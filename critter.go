@@ -9,9 +9,12 @@
 // The autotuning surface is the Tuner, which composes three abstractions:
 // a Space (the study's configuration space as named dimensions), a search
 // Strategy (Exhaustive — the paper's protocol — RandomSample for budgeted
-// tuning, or SuccessiveHalving, which prunes configurations across
-// tolerance rungs using Critter's predicted times), and a context-aware
-// concurrent runner. Every (study, policy, eps) sweep of the tuning grid
+// tuning, SuccessiveHalving, which prunes configurations across tolerance
+// rungs using Critter's predicted times, or Surrogate, which spends an
+// evaluation budget by expected improvement under a deterministic
+// regression model of the space and adapts its exploration margin from the
+// live merged profile via the ProfileAware plan interface), and a
+// context-aware concurrent runner. Every (study, policy, eps) sweep of the tuning grid
 // runs in its own deterministic world seeded identically, so Tuner.Run
 // dispatches sweeps to a bounded pool of worker goroutines (Workers;
 // default GOMAXPROCS) and produces results bit-identical to a sequential
@@ -157,6 +160,14 @@ type (
 	// SuccessiveHalving prunes configurations across tolerance rungs using
 	// Critter's predicted execution times.
 	SuccessiveHalving = autotune.SuccessiveHalving
+	// Surrogate evaluates up to N configurations chosen by a deterministic
+	// ridge-regression surrogate with expected-improvement acquisition,
+	// fit on Critter's predicted times as they arrive.
+	Surrogate = autotune.Surrogate
+	// ProfileAware is the optional Plan interface the sweep executor feeds
+	// the live merged profile after every completed round; model-guided
+	// plans use it to adapt mid-sweep.
+	ProfileAware = autotune.ProfileAware
 	// Envelope is the self-describing JSON serialization of one tuning
 	// run (schema version, seed, scale, noise, strategy, result grid).
 	Envelope = autotune.Envelope
@@ -307,8 +318,14 @@ func WorkloadScale(w Workload, name string) (Scale, error) { return workload.Sca
 // through ResultSchemaVersion and rejecting unknown future versions.
 func DecodeEnvelope(data []byte) (*Envelope, error) { return autotune.DecodeEnvelope(data) }
 
+// StrategyNames documents the strategy flag grammar ParseStrategy accepts,
+// for usage strings.
+const StrategyNames = autotune.StrategyNames
+
 // ParseStrategy resolves a search-strategy flag spec ("exhaustive",
-// "random:N", "halving[:ETA]"); seed seeds RandomSample's stream.
+// "random:N", "halving[:ETA]", "surrogate:N[:BATCH]"); seed seeds
+// RandomSample's and Surrogate's sampling streams. StrategyNames documents
+// the full grammar.
 func ParseStrategy(spec string, seed uint64) (Strategy, error) {
 	return autotune.ParseStrategy(spec, seed)
 }

@@ -163,6 +163,55 @@ func TestFacadeTunerStrategies(t *testing.T) {
 	}
 }
 
+// TestFacadeSurrogateStrategy exercises the model-guided search surface
+// through the public API: the Surrogate strategy value, its ParseStrategy
+// grammar, the ProfileAware plan interface, and deterministic re-runs.
+func TestFacadeSurrogateStrategy(t *testing.T) {
+	base := critter.Tuner{
+		Study:    critter.CandmcQR(critter.QuickScale()),
+		EpsList:  []float64{0.25},
+		Machine:  critter.DefaultMachine(),
+		Seed:     1,
+		Policies: []critter.Policy{critter.Online},
+		Strategy: critter.Surrogate{N: 5, Seed: 1},
+	}
+	res, err := base.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := res.Sweeps[0][0]
+	if got := len(sw.Configs); got != 5 {
+		t.Errorf("surrogate:5 evaluated %d configs", got)
+	}
+	if res.Strategy != "surrogate:5" {
+		t.Errorf("strategy recorded as %q", res.Strategy)
+	}
+	// A surrogate plan implements the ProfileAware feedback interface.
+	plan := base.Strategy.Plan(base.Study.Space, 0.25)
+	if _, ok := plan.(critter.ProfileAware); !ok {
+		t.Error("surrogate plan does not implement ProfileAware")
+	}
+	// The grammar round-trips through the facade parser, and the usage
+	// string mentions it.
+	parsed, err := critter.ParseStrategy("surrogate:5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, base.Strategy) {
+		t.Errorf("ParseStrategy(surrogate:5) = %#v, want %#v", parsed, base.Strategy)
+	}
+	if !strings.Contains(critter.StrategyNames, "surrogate:") {
+		t.Errorf("StrategyNames %q does not mention surrogate", critter.StrategyNames)
+	}
+	rerun, err := base.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, rerun) {
+		t.Error("surrogate re-run differs through the facade")
+	}
+}
+
 func TestFacadeTunerStream(t *testing.T) {
 	tn := critter.Tuner{
 		Study:    critter.CapitalCholesky(critter.QuickScale()),

@@ -1,4 +1,4 @@
-// Budgeted-search: tune the CANDMC QR study under the three built-in
+// Budgeted-search: tune the CANDMC QR study under the four built-in
 // search strategies and compare their cost/quality trade-off.
 //
 //   - Exhaustive is the paper's protocol: every configuration, once, at the
@@ -13,6 +13,13 @@
 //     like CAPITAL whose kernel models persist across configurations —
 //     while on reset-per-config studies at loose tolerances exhaustive
 //     search can be cheaper.
+//   - Surrogate{N: 5} spends the same budget as the random sample but
+//     model-guided: after a seeded initial design it fits a quadratic
+//     regression surrogate on the predicted times observed so far and
+//     picks each next configuration by expected improvement. Its plan is
+//     ProfileAware — the executor feeds it the live merged kernel profile
+//     after every round, and the acquisition widens its exploration
+//     margin when the observed kernel noise is high.
 //
 // Results stream in completion order through Tuner.Stream — the iterator
 // the serving path consumes — and the whole comparison runs under one
@@ -47,6 +54,7 @@ func main() {
 		critter.Exhaustive{},
 		critter.RandomSample{N: 5, Seed: 7},
 		critter.SuccessiveHalving{},
+		critter.Surrogate{N: 5, Seed: 7},
 	} {
 		tn := critter.Tuner{
 			Study:    study,

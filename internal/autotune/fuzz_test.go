@@ -60,7 +60,9 @@ func FuzzParseScale(f *testing.F) {
 
 func FuzzParseStrategy(f *testing.F) {
 	for _, seed := range []string{"exhaustive", "random:8", "random:0", "random:", "halving",
-		"halving:3", "halving:1", "exhaustive:1", "random:-5", "bogus", "", "random:9999999"} {
+		"halving:3", "halving:1", "exhaustive:1", "random:-5", "bogus", "", "random:9999999",
+		"surrogate:6", "surrogate:0", "surrogate:", "surrogate:3:2", "surrogate:3:0",
+		"surrogate:3:-1", "surrogate:9999999:7", "surrogate:2:9999999"} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, spec string) {

@@ -8,10 +8,13 @@ package autotune
 // Bayesian and transfer-learned samplers of related autotuning work.
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"strconv"
 	"strings"
 
+	"critter/internal/critter"
 	"critter/internal/sim"
 )
 
@@ -34,6 +37,25 @@ type Round struct {
 // Selective.Predicted keeps all ranks in agreement.
 type Plan interface {
 	Next(prev []ConfigResult) (Round, bool)
+}
+
+// ProfileAware is an optional interface a Plan may implement to receive the
+// sweep's live learned state: after each completed round the executor pools
+// every rank's profiler export (Profiler.GlobalProfile — a collective whose
+// result is identical on every rank) and feeds it to the plan before the
+// next Next call. Model-guided strategies use it to learn mid-run — e.g.
+// the Surrogate plan re-derives its exploration margin from the measured
+// kernel noise.
+//
+// The Plan contract extends naturally: ObserveProfile receives identical
+// arguments on every rank of a sweep, and a plan's later Next decisions
+// must remain deterministic in everything it has observed, so all ranks
+// keep agreeing. Implementations must not retain p past the call unless
+// they treat it as immutable (it is shared with nothing else, but mutating
+// it would desynchronize nothing — it is a per-round snapshot — while
+// wasting the copy).
+type ProfileAware interface {
+	ObserveProfile(p *critter.Profile)
 }
 
 // Strategy plans which configurations a sweep evaluates. Implementations
@@ -184,20 +206,18 @@ func (p *halvingPlan) Next(prev []ConfigResult) (Round, bool) {
 
 // prune keeps the n results with the smallest predicted execution times,
 // breaking ties by configuration index, and returns their config indices in
-// ascending order (deterministic on every rank).
+// ascending order (deterministic on every rank — the (Predicted, Config)
+// key is a total order over a round's results, so the unstable sort cannot
+// introduce rank divergence).
 func prune(results []ConfigResult, n int) []int {
 	sorted := make([]ConfigResult, len(results))
 	copy(sorted, results)
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0; j-- {
-			a, b := sorted[j-1], sorted[j]
-			if a.Selective.Predicted < b.Selective.Predicted ||
-				(a.Selective.Predicted == b.Selective.Predicted && a.Config <= b.Config) {
-				break
-			}
-			sorted[j-1], sorted[j] = b, a
+	slices.SortFunc(sorted, func(a, b ConfigResult) int {
+		if c := cmp.Compare(a.Selective.Predicted, b.Selective.Predicted); c != 0 {
+			return c
 		}
-	}
+		return cmp.Compare(a.Config, b.Config)
+	})
 	if n > len(sorted) {
 		n = len(sorted)
 	}
@@ -206,20 +226,21 @@ func prune(results []ConfigResult, n int) []int {
 		keep[i] = sorted[i].Config
 	}
 	// Ascending config order keeps the evaluation order stable.
-	for i := 1; i < len(keep); i++ {
-		for j := i; j > 0 && keep[j-1] > keep[j]; j-- {
-			keep[j-1], keep[j] = keep[j], keep[j-1]
-		}
-	}
+	slices.Sort(keep)
 	return keep
 }
 
-// StrategyNames documents the flag grammar accepted by ParseStrategy.
-const StrategyNames = "exhaustive, random:N, halving[:ETA]"
+// StrategyNames documents the flag grammar accepted by ParseStrategy. Every
+// grammar head ParseStrategy accepts must appear here (pinned by
+// TestStrategyNamesComplete, which also round-trips each strategy's Name
+// back through the parser).
+const StrategyNames = "exhaustive, random:N, halving[:ETA], surrogate:N[:BATCH]"
 
 // ParseStrategy resolves a strategy flag spec: "exhaustive", "random:N"
-// (N sampled configurations, seeded with seed), or "halving" with an
-// optional ":ETA" pruning factor.
+// (N sampled configurations, seeded with seed), "halving" with an optional
+// ":ETA" pruning factor, or "surrogate:N" (model-guided search over an
+// evaluation budget of N, seeded with seed) with an optional ":BATCH"
+// proposals-per-round count.
 func ParseStrategy(spec string, seed uint64) (Strategy, error) {
 	name, arg, hasArg := strings.Cut(spec, ":")
 	switch name {
@@ -243,6 +264,21 @@ func ParseStrategy(spec string, seed uint64) (Strategy, error) {
 			return nil, fmt.Errorf("autotune: strategy halving wants an integer pruning factor >= 2, got %q", spec)
 		}
 		return SuccessiveHalving{Eta: eta}, nil
+	case "surrogate":
+		narg, barg, hasBatch := strings.Cut(arg, ":")
+		n, err := strconv.Atoi(narg)
+		if !hasArg || err != nil || n < 1 {
+			return nil, fmt.Errorf("autotune: strategy surrogate wants a positive evaluation budget, e.g. surrogate:8 or surrogate:8:2, got %q", spec)
+		}
+		s := Surrogate{N: n, Seed: seed}
+		if hasBatch {
+			b, err := strconv.Atoi(barg)
+			if err != nil || b < 1 {
+				return nil, fmt.Errorf("autotune: strategy surrogate wants a positive batch size, e.g. surrogate:8:2, got %q", spec)
+			}
+			s.Batch = b
+		}
+		return s, nil
 	}
 	return nil, fmt.Errorf("autotune: unknown strategy %q (want %s)", spec, StrategyNames)
 }

@@ -278,6 +278,11 @@ func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
 	sr := SweepResult{Policy: pol, Eps: eps}
 	var execErrs, compErrs []float64
 	plan := strat.Plan(study.space(), eps)
+	// ProfileAware plans receive the live merged profile after every round.
+	// The type assertion resolves identically on every rank (all ranks hold
+	// the same plan type), so the collective GlobalProfile below is entered
+	// by all ranks or none.
+	profileAware, _ := plan.(ProfileAware)
 	var prev []ConfigResult
 	roundNo := 0
 	for {
@@ -371,6 +376,13 @@ func runSweep(ctx context.Context, c *mpi.Comm, j sweepJob) SweepResult {
 			}
 		}
 		prev = sr.Configs[roundStart:]
+		if profileAware != nil {
+			// Collective: every rank gathers and folds the identical merged
+			// profile, so plan state advances in lockstep across ranks. Fed
+			// after the round's results exist and before the next planning
+			// decision, mirroring how prev reaches Next.
+			profileAware.ObserveProfile(tuned.GlobalProfile())
+		}
 	}
 	sr.Selected, sr.Optimal = argmins(sr.Configs)
 	sr.MeanLogExecErr = stats.MeanLogErr(execErrs)

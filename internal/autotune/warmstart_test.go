@@ -215,3 +215,45 @@ func TestWarmStartStrategyDecorator(t *testing.T) {
 		t.Errorf("WarmStart(nil, prior) = %q, want warm:exhaustive", got.Name())
 	}
 }
+
+// TestWarmStartForwardsProfileAware checks the decorator against the new
+// optional interface: WarmStart delegates Plan to the inner strategy
+// untouched, so an inner ProfileAware plan keeps receiving the live merged
+// profile — a warm start must not silently disconnect a model-guided
+// strategy from its feedback loop.
+func TestWarmStartForwardsProfileAware(t *testing.T) {
+	base := Tuner{
+		Study:    rampStudy(8),
+		EpsList:  []float64{0.25},
+		Machine:  quickMachine(),
+		Seed:     13,
+		Policies: []critter.Policy{critter.Online},
+	}
+	cold, err := base.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := cold.Sweeps[0][0].Profile
+	if prior == nil {
+		t.Fatal("cold run exported no profile")
+	}
+
+	probe, calls := newProfileProbe(Surrogate{N: 5, Seed: 13})
+	warm := base
+	warm.Strategy = WarmStart(probe, prior)
+	res, err := warm.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "warm:probe:surrogate:5" {
+		t.Errorf("strategy recorded as %q", res.Strategy)
+	}
+	if len(*calls) == 0 {
+		t.Fatal("warm-started ProfileAware plan never received a profile")
+	}
+	for _, prof := range *calls {
+		if prof == nil {
+			t.Fatal("ObserveProfile fed a nil profile through WarmStart")
+		}
+	}
+}

@@ -18,6 +18,10 @@ func FuzzParseJobRequest(f *testing.F) {
 		`{"workload":"candmc","scale":"quick","policies":["online"],"eps":[0.125]}`,
 		`{"workload":"capital","strategy":"halving:3","seed":7,"noiseSigma":0.1}`,
 		`{"workload":"slate-qr","strategy":"random:16","warmStart":false,"extrapolate":true}`,
+		`{"workload":"slate-qr","strategy":"surrogate:16","seed":3}`,
+		`{"workload":"candmc","strategy":"surrogate:8:2"}`,
+		`{"workload":"candmc","strategy":"surrogate:0"}`,
+		`{"workload":"candmc","strategy":"surrogate:8:"}`,
 		`{"workload":"cholesky3d","eps":[1,0.5,0.25]}`,
 		`{"workload":"bogus"}`,
 		`{"workload":"candmc","scale":"huge"}`,

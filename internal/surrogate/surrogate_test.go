@@ -1,0 +1,205 @@
+package surrogate
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// quadObs samples y = (x0 - 0.6)^2 + 0.5 (x1 - 0.2)^2 over a grid, the
+// kind of single-trough surface tile-size spaces exhibit.
+func quadObs(sizes []int, coords [][]int) []Obs {
+	obs := make([]Obs, 0, len(coords))
+	for _, c := range coords {
+		x0 := float64(c[0]) / float64(sizes[0]-1)
+		x1 := float64(c[1]) / float64(sizes[1]-1)
+		y := (x0-0.6)*(x0-0.6) + 0.5*(x1-0.2)*(x1-0.2)
+		obs = append(obs, Obs{Coords: c, Y: y})
+	}
+	return obs
+}
+
+// TestFitRecoversQuadratic fits the full grid of an exactly quadratic
+// surface and requires near-exact interpolation plus the right argmin.
+func TestFitRecoversQuadratic(t *testing.T) {
+	sizes := []int{5, 4}
+	var coords [][]int
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			coords = append(coords, []int{i, j})
+		}
+	}
+	m := New(sizes, 1e-8) // tiny ridge: the surface is exactly representable
+	if err := m.Fit(quadObs(sizes, coords)); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Fitted() || m.N() != len(coords) {
+		t.Fatalf("fit state: fitted=%v n=%d", m.Fitted(), m.N())
+	}
+	bestMean, bestC := math.Inf(1), -1
+	for i, c := range coords {
+		mean, std := m.Predict(c)
+		want := quadObs(sizes, [][]int{c})[0].Y
+		if math.Abs(mean-want) > 1e-4 {
+			t.Errorf("predict%v = %g, want %g", c, mean, want)
+		}
+		if std < 0 || math.IsNaN(std) {
+			t.Errorf("predict%v std = %g", c, std)
+		}
+		if mean < bestMean {
+			bestMean, bestC = mean, i
+		}
+	}
+	// True minimum at x0 = 0.6 (coord 2.4 -> grid point 2 or 3), x1 = 0.2
+	// (coord 0.6 -> point 1). Check the model's argmin is adjacent to it.
+	c := coords[bestC]
+	if c[0] < 2 || c[0] > 3 || c[1] > 1 {
+		t.Errorf("model argmin at %v, want near [2..3, 0..1]", c)
+	}
+}
+
+// TestFitDeterministic requires bit-identical fits and predictions from
+// identical observation sequences — the rank-agreement contract.
+func TestFitDeterministic(t *testing.T) {
+	sizes := []int{5, 3, 2}
+	obs := []Obs{
+		{Coords: []int{0, 0, 0}, Y: 1.25},
+		{Coords: []int{4, 2, 1}, Y: 0.5},
+		{Coords: []int{2, 1, 0}, Y: 0.125},
+		{Coords: []int{1, 2, 1}, Y: 0.75},
+	}
+	a, b := New(sizes, 0), New(sizes, 0)
+	if err := a.Fit(obs); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(obs); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.theta, b.theta) || a.s2 != b.s2 {
+		t.Fatal("identical fits diverged")
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 2; k++ {
+				c := []int{i, j, k}
+				am, as := a.Predict(c)
+				bm, bs := b.Predict(c)
+				if am != bm || as != bs {
+					t.Fatalf("prediction at %v diverged: (%v,%v) vs (%v,%v)", c, am, as, bm, bs)
+				}
+			}
+		}
+	}
+}
+
+// TestFitFewObservations: with fewer observations than features the ridge
+// term must keep the system solvable and the predictions finite.
+func TestFitFewObservations(t *testing.T) {
+	sizes := []int{5, 4, 3}
+	m := New(sizes, 0)
+	if err := m.Fit([]Obs{{Coords: []int{0, 0, 0}, Y: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	mean, std := m.Predict([]int{4, 3, 2})
+	if math.IsNaN(mean) || math.IsInf(mean, 0) || math.IsNaN(std) || math.IsInf(std, 0) {
+		t.Fatalf("degenerate prediction: mean=%v std=%v", mean, std)
+	}
+	// A single observation pins nothing far away: uncertainty must not be
+	// smaller there than at the observed point.
+	_, stdAt := m.Predict([]int{0, 0, 0})
+	if std < stdAt {
+		t.Errorf("far point std %g < observed point std %g", std, stdAt)
+	}
+}
+
+// TestFitIgnoresNonFinite: NaN/Inf responses are dropped, not propagated.
+func TestFitIgnoresNonFinite(t *testing.T) {
+	m := New([]int{4, 4}, 0)
+	err := m.Fit([]Obs{
+		{Coords: []int{0, 0}, Y: math.NaN()},
+		{Coords: []int{1, 1}, Y: math.Inf(1)},
+		{Coords: []int{2, 2}, Y: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 1 {
+		t.Fatalf("fit kept %d observations, want 1", m.N())
+	}
+	mean, _ := m.Predict([]int{2, 2})
+	if math.IsNaN(mean) {
+		t.Fatal("NaN observation leaked into the fit")
+	}
+	// All-non-finite leaves the model unfitted.
+	m2 := New([]int{4, 4}, 0)
+	if err := m2.Fit([]Obs{{Coords: []int{0, 0}, Y: math.NaN()}}); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Fitted() {
+		t.Fatal("model fitted on zero usable observations")
+	}
+}
+
+// TestFitCoordMismatch: wrong-arity coordinates are an error, not a panic
+// or silent misfit.
+func TestFitCoordMismatch(t *testing.T) {
+	m := New([]int{4, 4}, 0)
+	if err := m.Fit([]Obs{{Coords: []int{1}, Y: 1}}); err == nil {
+		t.Fatal("coordinate arity mismatch accepted")
+	}
+}
+
+// TestExpectedImprovement pins the acquisition's shape: improvement grows
+// with lower mean and with higher uncertainty, is non-negative, and
+// degenerates correctly at zero std.
+func TestExpectedImprovement(t *testing.T) {
+	best := 1.0
+	if got := ExpectedImprovement(2, 0, best, 0); got != 0 {
+		t.Errorf("EI(worse mean, std 0) = %g, want 0", got)
+	}
+	if got := ExpectedImprovement(0.5, 0, best, 0); got != 0.5 {
+		t.Errorf("EI(better mean, std 0) = %g, want 0.5", got)
+	}
+	low := ExpectedImprovement(1.5, 0.1, best, 0)
+	high := ExpectedImprovement(1.5, 1.0, best, 0)
+	if !(high > low) {
+		t.Errorf("EI must grow with uncertainty: std 1.0 -> %g, std 0.1 -> %g", high, low)
+	}
+	better := ExpectedImprovement(0.2, 0.5, best, 0)
+	worse := ExpectedImprovement(0.8, 0.5, best, 0)
+	if !(better > worse) {
+		t.Errorf("EI must grow as the mean improves: %g vs %g", better, worse)
+	}
+	// The exploration margin shrinks the improvement.
+	if a, b := ExpectedImprovement(0.5, 0.3, best, 0), ExpectedImprovement(0.5, 0.3, best, 0.2); !(a > b) {
+		t.Errorf("xi must reduce EI: %g vs %g", a, b)
+	}
+	for _, std := range []float64{0, 0.1, 10} {
+		if got := ExpectedImprovement(5, std, best, 0); got < 0 || math.IsNaN(got) {
+			t.Errorf("EI negative or NaN: %g (std %g)", got, std)
+		}
+	}
+}
+
+// TestInvertIdentity sanity-checks the solver against a known inverse.
+func TestInvertIdentity(t *testing.T) {
+	a := newMatrix(3)
+	a[0][0], a[0][1], a[0][2] = 2, 0, 0
+	a[1][0], a[1][1], a[1][2] = 0, 4, 0
+	a[2][0], a[2][1], a[2][2] = 0, 0, 8
+	inv, ok := invert(a)
+	if !ok {
+		t.Fatal("diagonal matrix reported singular")
+	}
+	want := []float64{0.5, 0.25, 0.125}
+	for i := range want {
+		if inv[i][i] != want[i] {
+			t.Errorf("inv[%d][%d] = %g, want %g", i, i, inv[i][i], want[i])
+		}
+	}
+	// Singular input is reported, not mangled.
+	z := newMatrix(2)
+	if _, ok := invert(z); ok {
+		t.Fatal("zero matrix inverted")
+	}
+}
